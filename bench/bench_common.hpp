@@ -1,0 +1,37 @@
+// Shared scaffolding for the experiment benches (E1–E10, see DESIGN.md §5
+// and EXPERIMENTS.md).
+//
+// Each bench binary regenerates one experiment: it prints a table of the
+// model-level metrics the paper's theorems are about (completed work S,
+// attempted work S', pattern size |F|, overhead ratio σ, slots) and also
+// registers google-benchmark timings with those metrics attached as
+// counters, so `--benchmark_format=json` exports machine-readable series.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "accounting/tally.hpp"
+#include "util/table.hpp"
+
+namespace rfsp::bench {
+
+// Attach the model metrics to a google-benchmark state.
+inline void report(benchmark::State& state, const WorkTally& tally,
+                   std::uint64_t n) {
+  state.counters["S"] = static_cast<double>(tally.completed_work);
+  state.counters["S_prime"] = static_cast<double>(tally.attempted_work);
+  state.counters["F"] = static_cast<double>(tally.pattern_size());
+  state.counters["slots"] = static_cast<double>(tally.slots);
+  state.counters["sigma"] = tally.overhead_ratio(n);
+}
+
+// Print a titled experiment table to stdout (once per binary run).
+inline void print_table(const std::string& title, const Table& table) {
+  std::cout << "\n=== " << title << " ===\n";
+  table.print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace rfsp::bench

@@ -1,0 +1,128 @@
+// E11 — design-choice ablations (DESIGN.md §4; not paper tables).
+//
+//  (a) X initial placement: packed first-P-leaves vs Remark 5(i) even
+//      spacing. The paper says the worst case is unaffected; fault-free
+//      and random-noise costs show where spacing helps constants.
+//  (b) Contested-descent policy: PID bits (algorithm X) vs private coins
+//      (the ACC stand-in) under identical conditions.
+//  (c) Algorithm V's elements-per-leaf B: the paper picks B ≈ log₂N; the
+//      sweep shows why (allocation overhead at B = 1, lost parallelism and
+//      longer iterations at large B — the per-iteration work window grows
+//      while the tree shrinks).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+void print_placement() {
+  Table table({"placement", "N", "P", "S fault-free", "S random(10%)"});
+  for (const bool spaced : {false, true}) {
+    for (Addr n : {Addr{4096}}) {
+      for (Pid p : {Pid{16}, Pid{256}}) {
+        WriteAllConfig config{.n = n, .p = p, .seed = 1,
+                              .spaced_placement = spaced};
+        NoFailures none;
+        const auto clean = run_writeall(WriteAllAlgo::kX, config, none);
+        RandomAdversary random(13, {.fail_prob = 0.1, .restart_prob = 0.5});
+        const auto noisy = run_writeall(WriteAllAlgo::kX, config, random);
+        if (!clean.solved || !noisy.solved) continue;
+        table.add_row({spaced ? "spaced (Rem 5i)" : "packed", fmt_int(n),
+                       fmt_int(p), fmt_int(clean.run.tally.completed_work),
+                       fmt_int(noisy.run.tally.completed_work)});
+      }
+    }
+  }
+  bench::print_table("E11a: X initial placement (Remark 5(i))", table);
+}
+
+void print_descent() {
+  Table table({"descent", "adversary", "N=P", "S", "slots"});
+  const Addr n = 1024;
+  for (WriteAllAlgo algo : {WriteAllAlgo::kX, WriteAllAlgo::kAcc}) {
+    {
+      NoFailures none;
+      const auto out = run_writeall(
+          algo, {.n = n, .p = static_cast<Pid>(n), .seed = 9}, none);
+      table.add_row({algo == WriteAllAlgo::kX ? "PID bits" : "coins",
+                     "none", fmt_int(n),
+                     fmt_int(out.run.tally.completed_work),
+                     fmt_int(out.run.tally.slots)});
+    }
+    {
+      RandomAdversary random(17, {.fail_prob = 0.3, .restart_prob = 0.8});
+      const auto out = run_writeall(
+          algo, {.n = n, .p = static_cast<Pid>(n), .seed = 9}, random);
+      table.add_row({algo == WriteAllAlgo::kX ? "PID bits" : "coins",
+                     "random(30%)", fmt_int(n),
+                     fmt_int(out.run.tally.completed_work),
+                     fmt_int(out.run.tally.slots)});
+    }
+  }
+  bench::print_table(
+      "E11b: contested-descent policy — deterministic PID bits vs coins",
+      table);
+}
+
+void print_leaf_size() {
+  const Addr n = 4096;
+  const Pid p = 256;
+  const Addr logn = floor_log2(n);
+  Table table({"B (elems/leaf)", "leaves", "iteration slots", "S fault-free",
+               "S burst storm"});
+  for (Addr b : {Addr{1}, logn / 2, logn, 2 * logn, 8 * logn}) {
+    if (b < 1) continue;
+    WriteAllConfig config{.n = n, .p = p, .seed = 1, .leaf_elems = b};
+    NoFailures none;
+    const auto clean = run_writeall(WriteAllAlgo::kV, config, none);
+    BurstAdversary burst({.period = 4, .count = p / 4});
+    const auto noisy = run_writeall(WriteAllAlgo::kV, config, burst);
+    if (!clean.solved || !noisy.solved) continue;
+    const Addr leaves = ceil_div(n, b);
+    const Addr iteration =
+        2 * ceil_log2(ceil_pow2(leaves)) + b + 1;  // alloc + work + update
+    table.add_row({fmt_int(b), fmt_int(leaves), fmt_int(iteration),
+                   fmt_int(clean.run.tally.completed_work),
+                   fmt_int(noisy.run.tally.completed_work)});
+  }
+  bench::print_table(
+      "E11c: algorithm V elements-per-leaf sweep (paper: B = log2 N), "
+      "N=4096 P=256",
+      table);
+}
+
+void BM_LeafSize(benchmark::State& state) {
+  const Addr b = static_cast<Addr>(state.range(0));
+  WriteAllOutcome out;
+  for (auto _ : state) {
+    NoFailures none;
+    out = run_writeall(WriteAllAlgo::kV,
+                       {.n = 4096, .p = 256, .seed = 1, .leaf_elems = b},
+                       none);
+  }
+  if (!out.solved) state.SkipWithError("postcondition failed");
+  state.counters["S"] = static_cast<double>(out.run.tally.completed_work);
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_placement();
+  rfsp::print_descent();
+  rfsp::print_leaf_size();
+  for (long b : {1L, 6L, 12L, 24L, 96L}) {
+    benchmark::RegisterBenchmark(("E11/V-leaf/B:" + std::to_string(b)).c_str(),
+                                 rfsp::BM_LeafSize)
+        ->Args({b})
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

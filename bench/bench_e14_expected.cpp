@@ -1,0 +1,91 @@
+// E14 — expected behaviour under random failure models ([KPS 90]'s mode of
+// analysis, referenced in §1; statistics across seeds rather than a single
+// adversarial run).
+//
+// Shape: mean completed work of each fault-tolerant algorithm as the
+// per-slot failure probability sweeps upward, with spread (stddev) across
+// seeds. The deterministic algorithms' expected work under *random*
+// failures stays far below their adversarial worst cases — the paper's
+// point that worst-case adaptive adversaries, not chance, are the hard
+// part ("it is easy to construct on-line failure and restart patterns that
+// lead to exponential ... expected performance" only for adaptive F).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+Summary expected_work(WriteAllAlgo algo, Addr n, Pid p, double fail_prob,
+                      int trials) {
+  std::vector<double> works;
+  for (int trial = 0; trial < trials; ++trial) {
+    RandomAdversary adversary(
+        1000 + static_cast<std::uint64_t>(trial) * 7919,
+        {.fail_prob = fail_prob, .restart_prob = 0.6});
+    const auto out = run_writeall(
+        algo, {.n = n, .p = p, .seed = 40 + static_cast<std::uint64_t>(trial)},
+        adversary);
+    if (out.solved) {
+      works.push_back(static_cast<double>(out.run.tally.completed_work));
+    }
+  }
+  return summarize(works);
+}
+
+void print_report() {
+  const Addr n = 1024;
+  const Pid p = 128;
+  constexpr int kTrials = 10;
+  Table table({"algorithm", "fail prob", "mean S", "stddev", "min", "max"});
+  for (WriteAllAlgo algo : robust_writeall_algos()) {
+    for (const double fp : {0.02, 0.1, 0.3}) {
+      if (algo == WriteAllAlgo::kV && fp > 0.25) continue;  // see E11c note
+      const Summary s = expected_work(algo, n, p, fp, kTrials);
+      table.add_row({std::string(to_string(algo)), fmt_fixed(fp, 2),
+                     fmt_int(static_cast<std::uint64_t>(s.mean)),
+                     fmt_int(static_cast<std::uint64_t>(s.stddev)),
+                     fmt_int(static_cast<std::uint64_t>(s.min)),
+                     fmt_int(static_cast<std::uint64_t>(s.max))});
+    }
+  }
+  bench::print_table(
+      "E14: expected completed work under i.i.d. failures/restarts "
+      "(N=1024, P=128, 10 seeds)",
+      table);
+}
+
+void BM_Expected(benchmark::State& state) {
+  const auto algo = static_cast<WriteAllAlgo>(state.range(0));
+  const double fp = static_cast<double>(state.range(1)) / 100.0;
+  Summary s;
+  for (auto _ : state) s = expected_work(algo, 1024, 128, fp, 5);
+  state.counters["mean_S"] = s.mean;
+  state.counters["stddev_S"] = s.stddev;
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_report();
+  for (rfsp::WriteAllAlgo algo :
+       {rfsp::WriteAllAlgo::kX, rfsp::WriteAllAlgo::kCombinedVX}) {
+    for (long fp : {2L, 30L}) {
+      benchmark::RegisterBenchmark(
+          ("E14/" + std::string(to_string(algo)) + "/failpct:" +
+           std::to_string(fp))
+              .c_str(),
+          rfsp::BM_Expected)
+          ->Args({static_cast<long>(algo), fp})
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

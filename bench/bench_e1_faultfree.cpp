@@ -1,0 +1,78 @@
+// E1 — fault-free baseline (DESIGN.md §5, claim rows R4/R6 sanity).
+//
+// Completed work of every Write-All algorithm with no failures, P = N,
+// normalized by N. Expectations from the paper: trivial/sequential ≈ 1·N;
+// snapshot ≈ 2·N (strong model); V and W ≈ N + P log²N; X ≈ N log N
+// (lock-step climb); VX ≈ 2× the V branch; ACC ≈ X with random descent.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+WriteAllOutcome run_faultfree(WriteAllAlgo algo, Addr n) {
+  NoFailures none;
+  const Pid p = algo == WriteAllAlgo::kSequential ? 1 : static_cast<Pid>(n);
+  return run_writeall(algo, {.n = n, .p = p, .seed = 1}, none);
+}
+
+void BM_FaultFree(benchmark::State& state) {
+  const auto algo = static_cast<WriteAllAlgo>(state.range(0));
+  const Addr n = static_cast<Addr>(state.range(1));
+  WriteAllOutcome out;
+  for (auto _ : state) {
+    out = run_faultfree(algo, n);
+    benchmark::DoNotOptimize(out.run.tally.completed_work);
+  }
+  if (!out.solved) state.SkipWithError("postcondition failed");
+  bench::report(state, out.run.tally, n);
+  state.SetLabel(std::string(to_string(algo)));
+}
+
+void register_benches() {
+  for (WriteAllAlgo algo : all_writeall_algos()) {
+    for (Addr n : {Addr{256}, Addr{1024}, Addr{4096}}) {
+      benchmark::RegisterBenchmark(
+          ("E1/" + std::string(to_string(algo)) + "/n:" + std::to_string(n))
+              .c_str(),
+          BM_FaultFree)
+          ->Args({static_cast<long>(algo), static_cast<long>(n)})
+          ->Iterations(1);
+    }
+  }
+}
+
+void print_report() {
+  Table table({"algorithm", "N", "P", "S", "S/N", "slots"});
+  for (WriteAllAlgo algo : all_writeall_algos()) {
+    for (Addr n : {Addr{256}, Addr{1024}, Addr{4096}}) {
+      const auto out = run_faultfree(algo, n);
+      if (!out.solved) continue;
+      const auto& t = out.run.tally;
+      const Pid p =
+          algo == WriteAllAlgo::kSequential ? 1 : static_cast<Pid>(n);
+      table.add_row({std::string(to_string(algo)), fmt_int(n), fmt_int(p),
+                     fmt_int(t.completed_work),
+                     fmt_fixed(static_cast<double>(t.completed_work) / n, 2),
+                     fmt_int(t.slots)});
+    }
+  }
+  bench::print_table(
+      "E1: fault-free completed work (P = N; sequential P = 1)", table);
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_report();
+  rfsp::register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

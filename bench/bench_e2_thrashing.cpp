@@ -1,0 +1,78 @@
+// E2 — Example 2.2 (claim row R1): charging incomplete update cycles (S')
+// admits a trivial thrashing adversary that forces Ω(P·N) work on ANY
+// algorithm; the completed-work measure S does not.
+//
+// Paper shape: S' / (P·N) flat (constant) as N grows while S / N stays
+// near a small constant.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+WriteAllOutcome run_thrashed(WriteAllAlgo algo, Addr n) {
+  ThrashingAdversary adversary;
+  return run_writeall(algo, {.n = n, .p = static_cast<Pid>(n), .seed = 1},
+                      adversary);
+}
+
+void BM_Thrashing(benchmark::State& state) {
+  const auto algo = static_cast<WriteAllAlgo>(state.range(0));
+  const Addr n = static_cast<Addr>(state.range(1));
+  WriteAllOutcome out;
+  for (auto _ : state) out = run_thrashed(algo, n);
+  if (!out.solved) state.SkipWithError("postcondition failed");
+  bench::report(state, out.run.tally, n);
+  state.counters["Sprime_over_PN"] =
+      static_cast<double>(out.run.tally.attempted_work) /
+      (static_cast<double>(n) * n);
+}
+
+void print_report() {
+  Table table({"algorithm", "N", "S", "S/N", "S'", "S'/(P*N)"});
+  for (WriteAllAlgo algo :
+       {WriteAllAlgo::kTrivial, WriteAllAlgo::kX, WriteAllAlgo::kCombinedVX}) {
+    for (Addr n : {Addr{256}, Addr{512}, Addr{1024}, Addr{2048}}) {
+      const auto out = run_thrashed(algo, n);
+      if (!out.solved) continue;
+      const auto& t = out.run.tally;
+      const double pn = static_cast<double>(n) * n;
+      table.add_row({std::string(to_string(algo)), fmt_int(n),
+                     fmt_int(t.completed_work),
+                     fmt_fixed(static_cast<double>(t.completed_work) / n, 2),
+                     fmt_int(t.attempted_work),
+                     fmt_fixed(static_cast<double>(t.attempted_work) / pn, 3)});
+    }
+  }
+  bench::print_table(
+      "E2: thrashing adversary (Example 2.2) — S stays ~N, S' ~ P*N", table);
+}
+
+void register_benches() {
+  for (WriteAllAlgo algo :
+       {WriteAllAlgo::kTrivial, WriteAllAlgo::kX, WriteAllAlgo::kCombinedVX}) {
+    for (Addr n : {Addr{256}, Addr{1024}, Addr{2048}}) {
+      benchmark::RegisterBenchmark(
+          ("E2/" + std::string(to_string(algo)) + "/n:" + std::to_string(n))
+              .c_str(),
+          BM_Thrashing)
+          ->Args({static_cast<long>(algo), static_cast<long>(n)})
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_report();
+  rfsp::register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E3 — Theorems 3.1 + 3.2 (claim rows R2/R3): the halving adversary forces
+// S = Ω(N log N) on every correct algorithm with P = N, and the snapshot
+// algorithm (strong unit-cost-read model) matches with Θ(N log N).
+//
+// Paper shape: S / (N·log₂N) bounded below by a constant across N for all
+// algorithms; for the snapshot algorithm also bounded above (matching
+// upper bound).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/halving.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+WriteAllOutcome run_halved(WriteAllAlgo algo, Addr n) {
+  HalvingAdversary adversary(0, n);
+  return run_writeall(algo, {.n = n, .p = static_cast<Pid>(n), .seed = 1},
+                      adversary);
+}
+
+void BM_Halving(benchmark::State& state) {
+  const auto algo = static_cast<WriteAllAlgo>(state.range(0));
+  const Addr n = static_cast<Addr>(state.range(1));
+  WriteAllOutcome out;
+  for (auto _ : state) out = run_halved(algo, n);
+  if (!out.solved) state.SkipWithError("postcondition failed");
+  bench::report(state, out.run.tally, n);
+  state.counters["S_over_NlogN"] =
+      static_cast<double>(out.run.tally.completed_work) /
+      (static_cast<double>(n) * floor_log2(n));
+}
+
+const std::vector<WriteAllAlgo> kAlgos = {
+    WriteAllAlgo::kSnapshot, WriteAllAlgo::kV, WriteAllAlgo::kX,
+    WriteAllAlgo::kCombinedVX, WriteAllAlgo::kAcc};
+
+void print_report() {
+  Table table({"algorithm", "N", "S", "S/(N*log2N)", "slots"});
+  for (WriteAllAlgo algo : kAlgos) {
+    for (Addr n : {Addr{256}, Addr{1024}, Addr{4096}}) {
+      const auto out = run_halved(algo, n);
+      if (!out.solved) continue;
+      const auto& t = out.run.tally;
+      const double nlogn = static_cast<double>(n) * floor_log2(n);
+      table.add_row(
+          {std::string(to_string(algo)), fmt_int(n),
+           fmt_int(t.completed_work),
+           fmt_fixed(static_cast<double>(t.completed_work) / nlogn, 3),
+           fmt_int(t.slots)});
+    }
+  }
+  bench::print_table(
+      "E3: halving adversary (Thm 3.1 lower bound; Thm 3.2 matching upper "
+      "bound for 'snapshot')",
+      table);
+}
+
+void register_benches() {
+  for (WriteAllAlgo algo : kAlgos) {
+    for (Addr n : {Addr{256}, Addr{1024}, Addr{4096}}) {
+      benchmark::RegisterBenchmark(
+          ("E3/" + std::string(to_string(algo)) + "/n:" + std::to_string(n))
+              .c_str(),
+          BM_Halving)
+          ->Args({static_cast<long>(algo), static_cast<long>(n)})
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_report();
+  rfsp::register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

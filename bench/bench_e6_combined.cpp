@@ -1,0 +1,92 @@
+// E6 — Theorem 4.9 (claim row R8): interleaving V and X yields
+// S = O(min{N + P log²N + M log N, N·P^{0.59}}).
+//
+// Paper shape: sweeping the pattern size M from 0 upward, measured S
+// tracks the V-branch prediction (growing with M log N) until it crosses
+// the M-independent X-branch ceiling, then flattens: the min{} kicks in.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+constexpr double kXExp = 0.585;  // log₂3 − 1
+
+struct Row {
+  std::uint64_t m = 0;
+  std::uint64_t s = 0;
+  double v_branch = 0;
+  double x_branch = 0;
+};
+
+Row run_combined(Addr n, Pid p, double fail_prob, std::uint64_t seed) {
+  RandomAdversary adversary(
+      seed, {.fail_prob = fail_prob, .restart_prob = 0.9,
+             .fail_after_frac = 0.0});
+  const auto out =
+      run_writeall(WriteAllAlgo::kCombinedVX, {.n = n, .p = p, .seed = 2},
+                   adversary);
+  Row row;
+  if (!out.solved) return row;
+  const double logn = floor_log2(n);
+  row.m = out.run.tally.pattern_size();
+  row.s = out.run.tally.completed_work;
+  row.v_branch = n + p * logn * logn + static_cast<double>(row.m) * logn;
+  row.x_branch =
+      static_cast<double>(n) * std::pow(static_cast<double>(p), kXExp);
+  return row;
+}
+
+void print_report() {
+  const Addr n = 2048;
+  const Pid p = 256;
+  Table table({"fail_prob", "M=|F|", "S", "V-branch", "X-branch",
+               "S/min(branches)"});
+  for (double fp : {0.0, 0.02, 0.08, 0.2, 0.35, 0.5, 0.65}) {
+    const Row row = run_combined(n, p, fp, 77);
+    if (row.s == 0) continue;
+    const double mn = std::min(row.v_branch, row.x_branch);
+    table.add_row({fmt_fixed(fp, 2), fmt_int(row.m), fmt_int(row.s),
+                   fmt_int(static_cast<std::uint64_t>(row.v_branch)),
+                   fmt_int(static_cast<std::uint64_t>(row.x_branch)),
+                   fmt_fixed(row.s / mn, 3)});
+  }
+  bench::print_table(
+      "E6: combined VX (Thm 4.9), N=2048 P=256 — S tracks "
+      "min{N+Plog²N+MlogN, N·P^0.59} as M grows",
+      table);
+}
+
+void BM_Combined(benchmark::State& state) {
+  const double fp = static_cast<double>(state.range(0)) / 100.0;
+  Row row;
+  for (auto _ : state) row = run_combined(2048, 256, fp, 77);
+  if (row.s == 0) state.SkipWithError("postcondition failed");
+  state.counters["S"] = static_cast<double>(row.s);
+  state.counters["F"] = static_cast<double>(row.m);
+  state.counters["S_over_min"] =
+      row.s / std::min(row.v_branch, row.x_branch);
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_report();
+  for (long fp : {0L, 8L, 20L, 50L}) {
+    benchmark::RegisterBenchmark(
+        ("E6/VX/failpct:" + std::to_string(fp)).c_str(), rfsp::BM_Combined)
+        ->Args({fp})
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E7 — overhead ratio σ = S/(N + |F|) (Definition 2.3, Theorem 4.9,
+// Corollaries 4.10/4.11; claim row R8).
+//
+// Paper shape: σ = O(log²N) across N in every regime; for fixed N, σ
+// *improves* as the pattern grows — "it is harder to deal efficiently with
+// a few worst case failures than with a large number of failures" —
+// approaching O(log N) at |F| = Ω(N log N) and O(1) at |F| = Ω(N^{1.6}).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+void print_sigma_vs_n() {
+  Table table({"N", "adversary", "S", "|F|", "sigma", "sigma/log2^2N"});
+  for (Addr n : {Addr{256}, Addr{1024}, Addr{4096}, Addr{16384}}) {
+    struct Case {
+      const char* label;
+      double fail, restart;
+    };
+    for (const Case c : {Case{"light (2%)", 0.02, 0.5},
+                         Case{"heavy (30%)", 0.30, 0.9}}) {
+      RandomAdversary adversary(
+          11, {.fail_prob = c.fail, .restart_prob = c.restart});
+      const auto out = run_writeall(WriteAllAlgo::kCombinedVX,
+                                    {.n = n, .p = static_cast<Pid>(n / 8 + 1)},
+                                    adversary);
+      if (!out.solved) continue;
+      const double sigma = out.run.tally.overhead_ratio(n);
+      const double logn = floor_log2(n);
+      table.add_row({fmt_int(n), c.label,
+                     fmt_int(out.run.tally.completed_work),
+                     fmt_int(out.run.tally.pattern_size()),
+                     fmt_fixed(sigma, 2),
+                     fmt_fixed(sigma / (logn * logn), 4)});
+    }
+  }
+  bench::print_table(
+      "E7a: combined VX — overhead ratio sigma stays within O(log²N) "
+      "(Thm 4.9 / Cor 4.10)",
+      table);
+}
+
+void print_sigma_vs_f() {
+  // Fixed instance; crank the failure intensity and watch σ fall
+  // (Corollary 4.11's direction).
+  const Addr n = 2048;
+  Table table({"fail_prob", "|F|", "S", "sigma"});
+  for (double fp : {0.0, 0.05, 0.15, 0.3, 0.5, 0.7}) {
+    RandomAdversary adversary(21, {.fail_prob = fp, .restart_prob = 0.95});
+    const auto out = run_writeall(WriteAllAlgo::kCombinedVX,
+                                  {.n = n, .p = static_cast<Pid>(n)},
+                                  adversary);
+    if (!out.solved) continue;
+    table.add_row({fmt_fixed(fp, 2), fmt_int(out.run.tally.pattern_size()),
+                   fmt_int(out.run.tally.completed_work),
+                   fmt_fixed(out.run.tally.overhead_ratio(n), 3)});
+  }
+  bench::print_table(
+      "E7b: sigma improves as |F| grows (Cor 4.11) — N=P=2048, combined VX",
+      table);
+}
+
+void BM_Sigma(benchmark::State& state) {
+  const Addr n = static_cast<Addr>(state.range(0));
+  const double fp = static_cast<double>(state.range(1)) / 100.0;
+  WriteAllOutcome out;
+  for (auto _ : state) {
+    RandomAdversary adversary(11, {.fail_prob = fp, .restart_prob = 0.9});
+    out = run_writeall(WriteAllAlgo::kCombinedVX,
+                       {.n = n, .p = static_cast<Pid>(n)}, adversary);
+  }
+  if (!out.solved) state.SkipWithError("postcondition failed");
+  bench::report(state, out.run.tally, n);
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_sigma_vs_n();
+  rfsp::print_sigma_vs_f();
+  for (long n : {1024L, 4096L}) {
+    for (long fp : {5L, 50L}) {
+      benchmark::RegisterBenchmark(("E7/VX/n:" + std::to_string(n) +
+                                    "/failpct:" + std::to_string(fp))
+                                       .c_str(),
+                                   rfsp::BM_Sigma)
+          ->Args({n, fp})
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The work-distribution API: map a pure function over N items on P
+// processors that crash and restart — for_each_resilient / map_resilient
+// (built on the paper's iterated Write-All service, §4.3).
+//
+//   ./build/examples/resilient_map
+#include <iostream>
+
+#include "fault/adversaries.hpp"
+#include "util/rng.hpp"
+#include "writeall/foreach.hpp"
+
+namespace {
+
+// Stand-in for an expensive pure computation (e.g. hashing a shard).
+rfsp::Word expensive(rfsp::Addr i) {
+  return static_cast<rfsp::Word>(rfsp::mix64(i, 0xfeedface) & 0xffffffff);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rfsp;
+
+  constexpr Addr kItems = 10000;
+  constexpr Pid kWorkers = 128;
+
+  std::cout << "map_resilient: " << kItems << " items on " << kWorkers
+            << " crash-restart processors\n\n";
+
+  RandomAdversary adversary(/*seed=*/2026,
+                            {.fail_prob = 0.08, .restart_prob = 0.5});
+  const ForEachResult r = map_resilient(kItems, expensive, adversary,
+                                        {.processors = kWorkers});
+  if (!r.completed) {
+    std::cerr << "distribution did not complete\n";
+    return 1;
+  }
+
+  // Verify every item against a direct evaluation.
+  for (Addr i = 0; i < kItems; ++i) {
+    if (r.user_memory[i] != expensive(i)) {
+      std::cerr << "item " << i << " is wrong\n";
+      return 1;
+    }
+  }
+
+  const auto& t = r.tally;
+  std::cout << "all " << kItems << " results correct\n"
+            << "completed work S = " << t.completed_work << " update cycles ("
+            << static_cast<double>(t.completed_work) / kItems
+            << " per item)\n"
+            << "failures/restarts survived = " << t.failures << "/"
+            << t.restarts << '\n'
+            << "parallel time = " << t.slots << " cycles\n";
+  return 0;
+}

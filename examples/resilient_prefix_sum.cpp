@@ -1,0 +1,92 @@
+// Executing ordinary PRAM programs on unreliable processors (Theorem 4.1).
+//
+// The scenario the paper's introduction motivates: you wrote a clean
+// synchronous parallel algorithm (here: prefix sums, then an odd–even
+// sort), and the machine's processors crash and restart under you. The
+// simulator runs each N-processor step as two Write-All passes over the
+// restartable fail-stop machine; the answer comes out exactly as if
+// nothing had failed.
+//
+//   ./build/examples/resilient_prefix_sum
+#include <iostream>
+
+#include "fault/adversaries.hpp"
+#include "programs/programs.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void report(const char* what, const rfsp::SimResult& result, bool correct,
+            std::uint64_t n) {
+  const auto& t = result.tally;
+  std::cout << what << ":\n"
+            << "  completed          = " << (result.completed ? "yes" : "NO")
+            << ", result " << (correct ? "matches" : "DIFFERS FROM")
+            << " the fault-free reference\n"
+            << "  Write-All passes   = " << result.passes << '\n'
+            << "  completed work S   = " << t.completed_work << '\n'
+            << "  failures/restarts  = " << t.failures << "/" << t.restarts
+            << '\n'
+            << "  overhead ratio     = " << t.overhead_ratio(n) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace rfsp;
+
+  std::cout << "Simulating synchronous PRAM programs on a restartable\n"
+            << "fail-stop machine (Theorem 4.1)\n\n";
+
+  // --- Prefix sums over 256 values, 64 physical processors, heavy faults.
+  {
+    Rng rng(7);
+    std::vector<Word> values(256);
+    for (auto& v : values) v = static_cast<Word>(rng.below(1000));
+    PrefixSumProgram program(values);
+
+    RandomAdversary adversary(2026, {.fail_prob = 0.1, .restart_prob = 0.5});
+    const SimResult result =
+        simulate(program, adversary, {.physical_processors = 64});
+    report("prefix sums (N=256 simulated, P=64 physical)", result,
+           program.verify(result.memory) &&
+               result.memory == reference_run(program),
+           values.size());
+    if (!result.completed || !program.verify(result.memory)) return 1;
+  }
+
+  // --- Odd–even transposition sort, processors failing in bursts.
+  {
+    Rng rng(8);
+    std::vector<Word> keys(64);
+    for (auto& k : keys) k = static_cast<Word>(rng.below(10000));
+    OddEvenSortProgram program(keys);
+
+    BurstAdversary adversary({.period = 5, .count = 12});
+    const SimResult result =
+        simulate(program, adversary, {.physical_processors = 32});
+    report("odd-even sort (N=64 simulated, P=32 physical, bursty faults)",
+           result, program.verify(result.memory), keys.size());
+    if (!result.completed || !program.verify(result.memory)) return 1;
+  }
+
+  // --- List ranking with only 8 physical processors.
+  {
+    std::vector<Pid> next(100);
+    for (Pid j = 0; j + 1 < next.size(); ++j) next[j] = j + 1;
+    next.back() = static_cast<Pid>(next.size() - 1);
+    ListRankingProgram program(next);
+
+    RandomAdversary adversary(9, {.fail_prob = 0.15, .restart_prob = 0.6});
+    const SimResult result =
+        simulate(program, adversary, {.physical_processors = 8});
+    report("list ranking (N=100 simulated, P=8 physical)", result,
+           program.verify(result.memory), next.size());
+    if (!result.completed || !program.verify(result.memory)) return 1;
+  }
+
+  std::cout << "All simulated programs produced exact results despite the "
+               "failures.\n";
+  return 0;
+}

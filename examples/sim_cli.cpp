@@ -1,0 +1,185 @@
+// sim_cli — run a simulated PRAM workload on the fault-tolerant machine
+// from the command line (the Theorem 4.1 executor), with a choice of
+// workload, size, physical processors, embedded Write-All algorithm, and
+// failure intensity. Results are verified against the fault-free reference
+// execution before reporting.
+//
+// Examples:
+//   sim_cli --program prefix-sum --n 1024 --p 64 --fail 0.1
+//   sim_cli --program bitonic-sort --n 256 --p 32 --inner X
+//   sim_cli --program leader-elect --n 64 --p 16      (ARBITRARY CRCW)
+//   sim_cli --program sort-scan --n 128 --p 32        (chained pipeline)
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fault/adversaries.hpp"
+#include "programs/chain.hpp"
+#include "programs/programs.hpp"
+#include "sim/discipline.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rfsp;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: sim_cli [options]\n"
+               "  --program NAME  prefix-sum|max-reduce|list-ranking|\n"
+               "                  odd-even-sort|bitonic-sort|stencil|matmul|\n"
+               "                  leader-elect|components|sort-scan\n"
+               "                  (default prefix-sum)\n"
+               "  --n N           simulated size (default 256; bitonic needs\n"
+               "                  a power of two, matmul a square)\n"
+               "  --p P           physical processors (default N/8+1)\n"
+               "  --inner NAME    VX|X|V embedded Write-All (default VX)\n"
+               "  --fail PROB     per-slot failure probability (default 0.05)\n"
+               "  --restart PROB  per-slot restart probability (default 0.5)\n"
+               "  --seed S        seed (default 1)\n";
+  std::exit(2);
+}
+
+std::vector<Word> random_values(std::size_t n, std::uint64_t seed,
+                                Word bound) {
+  Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(bound));
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) usage("bad argument " + key);
+    args[key.substr(2)] = argv[++i];
+  }
+  auto take = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    if (it == args.end()) return fallback;
+    std::string value = it->second;
+    args.erase(it);
+    return value;
+  };
+
+  const std::string name = take("program", "prefix-sum");
+  const Addr n = std::stoull(take("n", "256"));
+  const Pid p = static_cast<Pid>(std::stoull(take("p", std::to_string(n / 8 + 1))));
+  const std::string inner_name = take("inner", "VX");
+  const double fail = std::stod(take("fail", "0.05"));
+  const double restart = std::stod(take("restart", "0.5"));
+  const std::uint64_t seed = std::stoull(take("seed", "1"));
+  if (!args.empty()) usage("unknown option --" + args.begin()->first);
+
+  SimInner inner = SimInner::kCombinedVX;
+  if (inner_name == "X") inner = SimInner::kX;
+  else if (inner_name == "V") inner = SimInner::kV;
+  else if (inner_name != "VX") usage("unknown inner " + inner_name);
+
+  try {
+    // Assemble the requested workload. `verifier` defaults to comparison
+    // against the fault-free reference; ARBITRARY programs override it
+    // (their legal outcomes form a set, not a single image).
+    std::unique_ptr<SimProgram> owned_a, owned_b;
+    std::unique_ptr<SimProgram> program;
+    std::function<bool(const std::vector<Word>&)> verifier;
+    if (name == "prefix-sum") {
+      program = std::make_unique<PrefixSumProgram>(random_values(n, seed, 1000));
+    } else if (name == "max-reduce") {
+      program = std::make_unique<MaxReduceProgram>(random_values(n, seed, 1u << 20));
+    } else if (name == "list-ranking") {
+      std::vector<Pid> next(n);
+      for (Pid j = 0; j + 1 < next.size(); ++j) next[j] = j + 1;
+      next.back() = static_cast<Pid>(next.size() - 1);
+      program = std::make_unique<ListRankingProgram>(next);
+    } else if (name == "odd-even-sort") {
+      program = std::make_unique<OddEvenSortProgram>(random_values(n, seed, 10000));
+    } else if (name == "bitonic-sort") {
+      program = std::make_unique<BitonicSortProgram>(random_values(n, seed, 10000));
+    } else if (name == "stencil") {
+      std::vector<Word> rod(n, 0);
+      rod.front() = 1000;
+      program = std::make_unique<StencilProgram>(rod, n / 2 + 4);
+    } else if (name == "matmul") {
+      Addr m = 1;
+      while ((m + 1) * (m + 1) <= n) ++m;
+      program = std::make_unique<MatMulProgram>(
+          random_values(m * m, seed, 10), random_values(m * m, seed + 1, 10),
+          static_cast<Pid>(m));
+    } else if (name == "components") {
+      // A random graph with ~n vertices and ~1.2n edges.
+      Rng rng(seed + 17);
+      std::vector<std::pair<Pid, Pid>> edges;
+      for (Addr e = 0; e < n + n / 5; ++e) {
+        edges.emplace_back(static_cast<Pid>(rng.below(n)),
+                           static_cast<Pid>(rng.below(n)));
+      }
+      auto cc = std::make_unique<ConnectedComponentsProgram>(
+          static_cast<Pid>(n), std::move(edges));
+      const ConnectedComponentsProgram* raw = cc.get();
+      verifier = [raw](const std::vector<Word>& memory) {
+        return raw->verify(memory);
+      };
+      program = std::move(cc);
+    } else if (name == "leader-elect") {
+      auto leader = std::make_unique<LeaderElectProgram>(static_cast<Pid>(n));
+      const LeaderElectProgram* raw = leader.get();
+      verifier = [raw](const std::vector<Word>& memory) {
+        return raw->verify(memory);
+      };
+      program = std::move(leader);
+    } else if (name == "sort-scan") {
+      const auto keys = random_values(n, seed, 1000);
+      owned_a = std::make_unique<OddEvenSortProgram>(keys);
+      owned_b = std::make_unique<PrefixSumProgram>(keys);
+      program = std::make_unique<ChainedProgram>(*owned_a, *owned_b);
+    } else {
+      usage("unknown program " + name);
+    }
+
+    const DisciplineReport discipline =
+        check_discipline(*program, program->discipline());
+    std::cout << "program          " << program->name() << " (N="
+              << program->processors() << ", " << program->steps()
+              << " steps)\n"
+              << "discipline check " << (discipline.ok ? "ok" : "VIOLATION")
+              << '\n';
+    if (!discipline.ok) return 1;
+
+    std::unique_ptr<Adversary> adversary;
+    if (fail <= 0) {
+      adversary = std::make_unique<NoFailures>();
+    } else {
+      adversary = std::make_unique<RandomAdversary>(
+          seed ^ 0xadde, RandomAdversaryOptions{.fail_prob = fail,
+                                                 .restart_prob = restart});
+    }
+
+    const SimResult r = simulate(*program, *adversary,
+                                 {.physical_processors = p, .inner = inner});
+    const bool correct =
+        r.completed && (verifier ? verifier(r.memory)
+                                 : r.memory == reference_run(*program));
+    const auto& t = r.tally;
+    std::cout << "physical P       " << p << " (inner " << inner_name
+              << ")\n"
+              << "completed        " << (r.completed ? "yes" : "NO") << '\n'
+              << "matches fault-free reference: "
+              << (correct ? "yes" : "NO") << '\n'
+              << "completed work S " << t.completed_work << '\n'
+              << "|F|              " << t.pattern_size() << '\n'
+              << "parallel time    " << t.slots << " update cycles\n"
+              << "overhead sigma   "
+              << t.overhead_ratio(program->processors()) << '\n';
+    return correct ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

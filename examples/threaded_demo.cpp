@@ -1,0 +1,40 @@
+// Algorithm X on real OS threads with injected restart failures (§2.3).
+//
+//   ./build/examples/threaded_demo
+//
+// The deterministic engine measures work; this demo shows the same
+// algorithm running lock-free on actual hardware concurrency, surviving
+// workers that lose their private state mid-flight.
+#include <iostream>
+
+#include "parallel/threaded.hpp"
+
+int main() {
+  using namespace rfsp;
+
+  std::cout << "Algorithm X on OS threads over atomic shared memory\n\n";
+
+  for (const bool inject : {false, true}) {
+    for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+      ThreadedOptions options;
+      options.n = 1 << 16;
+      options.workers = workers;
+      options.seed = 42 + workers;
+      options.failures_per_worker = inject ? 4.0 : 0.0;
+
+      const ThreadedResult r = run_threaded_writeall(options);
+      std::cout << "workers=" << workers
+                << (inject ? "  (restart injection on)" : "")
+                << ": solved=" << (r.solved ? "yes" : "NO")
+                << ", loop iterations=" << r.loop_iterations
+                << ", observed failures=" << r.injected_failures
+                << ", wall=" << r.wall_seconds << "s\n";
+      if (!r.solved) return 1;
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "Every configuration satisfied the Write-All "
+               "postcondition.\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+// writeall_cli — run any Write-All algorithm against any adversary from
+// the command line; export per-slot traces (CSV) and failure patterns
+// (text), or replay a saved pattern as an off-line adversary.
+//
+// Examples:
+//   writeall_cli --algo X --n 4096 --p 256 --adversary random --fail 0.1
+//   writeall_cli --algo VX --n 1024 --p 1024 --adversary halving
+//                --trace run.csv --pattern-out run.pattern
+//   writeall_cli --algo ACC --n 1024 --p 1024 --pattern-in run.pattern
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "fault/adversaries.hpp"
+#include "fault/halving.hpp"
+#include "fault/iteration_killer.hpp"
+#include "fault/stalkers.hpp"
+#include "writeall/algv.hpp"
+#include "writeall/algx.hpp"
+#include "writeall/combined.hpp"
+#include "writeall/runner.hpp"
+
+namespace {
+
+using namespace rfsp;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: writeall_cli [options]\n"
+      "  --algo NAME        trivial|sequential|W|V|X|VX|snapshot|ACC "
+      "(default VX)\n"
+      "  --n N              array size (default 1024)\n"
+      "  --p P              processors (default N)\n"
+      "  --seed S           seed for randomized pieces (default 1)\n"
+      "  --adversary NAME   none|random|burst|thrashing|halving|\n"
+      "                     postorder-stalker|leaf-stalker|iteration-killer\n"
+      "                     (default none)\n"
+      "  --fail PROB        random adversary per-slot failure prob (0.05)\n"
+      "  --restart PROB     random adversary restart prob (0.5)\n"
+      "  --burst-period K   burst adversary period (4)\n"
+      "  --burst-count K    burst adversary victims per burst (P/4)\n"
+      "  --pattern-in FILE  replay a saved pattern (off-line adversary)\n"
+      "  --pattern-out FILE save the run's failure pattern\n"
+      "  --trace FILE       save the per-slot trace as CSV\n";
+  std::exit(2);
+}
+
+std::map<std::string, WriteAllAlgo> algo_names() {
+  std::map<std::string, WriteAllAlgo> m;
+  for (WriteAllAlgo algo : all_writeall_algos()) {
+    m.emplace(std::string(to_string(algo)), algo);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected argument " + key);
+    key = key.substr(2);
+    if (i + 1 >= argc) usage("missing value for --" + key);
+    args[key] = argv[++i];
+  }
+  auto take = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    if (it == args.end()) return fallback;
+    std::string value = it->second;
+    args.erase(it);
+    return value;
+  };
+
+  const std::string algo_name = take("algo", "VX");
+  const Addr n = std::stoull(take("n", "1024"));
+  const Pid p = static_cast<Pid>(std::stoull(take("p", std::to_string(n))));
+  const std::uint64_t seed = std::stoull(take("seed", "1"));
+  const std::string adversary_name = take("adversary", "none");
+  const double fail = std::stod(take("fail", "0.05"));
+  const double restart = std::stod(take("restart", "0.5"));
+  const Slot burst_period = std::stoull(take("burst-period", "4"));
+  const Pid burst_count =
+      static_cast<Pid>(std::stoull(take("burst-count", std::to_string(
+                                                           std::max(1u, p / 4)))));
+  const std::string pattern_in = take("pattern-in", "");
+  const std::string pattern_out = take("pattern-out", "");
+  const std::string trace_file = take("trace", "");
+  if (!args.empty()) usage("unknown option --" + args.begin()->first);
+
+  const auto algos = algo_names();
+  const auto algo_it = algos.find(algo_name);
+  if (algo_it == algos.end()) usage("unknown algorithm " + algo_name);
+  const WriteAllAlgo algo = algo_it->second;
+  const WriteAllConfig config{.n = n, .p = p, .seed = seed};
+
+  // The stalkers need the X-family layout; derive it where applicable.
+  std::unique_ptr<Adversary> adversary;
+  try {
+    auto x_layout = [&]() -> XLayout {
+      if (algo == WriteAllAlgo::kCombinedVX) {
+        return CombinedVX(config).layout().x;
+      }
+      return AlgX(config).layout();
+    };
+    if (!pattern_in.empty()) {
+      std::ifstream in(pattern_in);
+      if (!in) usage("cannot read " + pattern_in);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      adversary =
+          std::make_unique<ScheduledAdversary>(pattern_from_text(buffer.str()));
+    } else if (adversary_name == "none") {
+      adversary = std::make_unique<NoFailures>();
+    } else if (adversary_name == "random") {
+      adversary = std::make_unique<RandomAdversary>(
+          seed ^ 0x5eed, RandomAdversaryOptions{.fail_prob = fail,
+                                                .restart_prob = restart});
+    } else if (adversary_name == "burst") {
+      adversary = std::make_unique<BurstAdversary>(
+          BurstAdversaryOptions{.period = burst_period, .count = burst_count});
+    } else if (adversary_name == "thrashing") {
+      adversary = std::make_unique<ThrashingAdversary>();
+    } else if (adversary_name == "halving") {
+      adversary = std::make_unique<HalvingAdversary>(config.base, n);
+    } else if (adversary_name == "postorder-stalker") {
+      adversary = std::make_unique<PostOrderStalker>(x_layout());
+    } else if (adversary_name == "leaf-stalker") {
+      adversary = std::make_unique<LeafStalker>(x_layout());
+    } else if (adversary_name == "iteration-killer") {
+      const VLayout probe(0, n, n, p, 0);
+      adversary = std::make_unique<IterationKiller>(
+          algo == WriteAllAlgo::kCombinedVX ? 2 * probe.iteration
+                                            : probe.iteration);
+    } else {
+      usage("unknown adversary " + adversary_name);
+    }
+
+    EngineOptions options;
+    options.record_pattern = !pattern_out.empty();
+    options.record_trace = !trace_file.empty();
+    const WriteAllOutcome out = run_writeall(algo, config, *adversary, options);
+
+    const auto& t = out.run.tally;
+    std::cout << "algorithm        " << to_string(algo) << "\n"
+              << "N / P            " << n << " / " << p << "\n"
+              << "adversary        "
+              << (pattern_in.empty() ? adversary->name() : "replay") << "\n"
+              << "solved           " << (out.solved ? "yes" : "NO") << "\n"
+              << "completed S      " << t.completed_work << "\n"
+              << "attempted S'     " << t.attempted_work << "\n"
+              << "|F|              " << t.pattern_size() << " ("
+              << t.failures << " failures, " << t.restarts << " restarts)\n"
+              << "parallel time    " << t.slots << " update cycles\n"
+              << "overhead sigma   " << t.overhead_ratio(n) << "\n";
+
+    if (!pattern_out.empty()) {
+      std::ofstream os(pattern_out);
+      os << pattern_to_text(out.run.pattern);
+      std::cout << "pattern saved to " << pattern_out << " ("
+                << out.run.pattern.size() << " events)\n";
+    }
+    if (!trace_file.empty()) {
+      std::ofstream os(trace_file);
+      write_trace_csv(os, out.run.trace);
+      std::cout << "trace saved to   " << trace_file << " ("
+                << out.run.trace.size() << " slots)\n";
+    }
+    return out.solved ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

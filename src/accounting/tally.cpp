@@ -1,0 +1,34 @@
+#include "accounting/tally.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+double WorkTally::overhead_ratio(std::uint64_t input_size) const {
+  RFSP_CHECK_MSG(input_size >= 1, "overhead ratio needs |I| >= 1");
+  return static_cast<double>(completed_work) /
+         static_cast<double>(input_size + pattern_size());
+}
+
+void write_trace_csv(std::ostream& out, std::span<const SlotStats> trace) {
+  out << "slot,started,completed,failures,restarts\n";
+  for (const SlotStats& s : trace) {
+    out << s.slot << ',' << s.started << ',' << s.completed << ','
+        << s.failures << ',' << s.restarts << '\n';
+  }
+}
+
+void WorkTally::merge(const WorkTally& other) {
+  completed_work += other.completed_work;
+  attempted_work += other.attempted_work;
+  failures += other.failures;
+  restarts += other.restarts;
+  slots += other.slots;
+  halted += other.halted;
+  peak_live = std::max(peak_live, other.peak_live);
+}
+
+}  // namespace rfsp

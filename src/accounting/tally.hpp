@@ -1,0 +1,50 @@
+// Complexity accounting (Definitions 2.2 / 2.3 of the paper).
+//
+//  * completed work  S  = c · Σ_i P_i(I, F), where P_i is the number of
+//    processors *completing* an update cycle at slot i (c = 1 here);
+//  * attempted work  S' additionally charges cycles the adversary killed
+//    mid-flight (Remark 2: S' <= S + |F|; Example 2.2 shows S' admits a
+//    trivial quadratic adversary, which motivates charging only S);
+//  * overhead ratio  σ = S / (|I| + |F|)  (Definition 2.3(ii)).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+
+namespace rfsp {
+
+struct WorkTally {
+  std::uint64_t completed_work = 0;  // S
+  std::uint64_t attempted_work = 0;  // S' (>= S)
+  std::uint64_t failures = 0;        // # of <failure, PID, t> events
+  std::uint64_t restarts = 0;        // # of <restart, PID, t> events
+  std::uint64_t slots = 0;           // parallel time (update-cycle slots)
+  std::uint64_t halted = 0;          // processors that finished voluntarily
+  std::uint64_t peak_live = 0;       // max live processors in any slot
+
+  // |F| — the size of the failure pattern (Definition 2.1 counts both
+  // failure and restart triples).
+  std::uint64_t pattern_size() const { return failures + restarts; }
+
+  // σ = S / (input_size + |F|). Well-defined for input_size >= 1.
+  double overhead_ratio(std::uint64_t input_size) const;
+
+  void merge(const WorkTally& other);
+};
+
+// Per-slot time series, recorded by the engine when
+// EngineOptions::record_trace is set. Σ completed over a trace equals the
+// run's S; Σ started equals S'.
+struct SlotStats {
+  std::uint64_t slot = 0;
+  std::uint32_t started = 0;    // live processors that ran a cycle
+  std::uint32_t completed = 0;  // cycles that committed
+  std::uint32_t failures = 0;   // failure events this slot
+  std::uint32_t restarts = 0;   // restart events this slot
+};
+
+// CSV export (header + one row per slot), for plotting run dynamics.
+void write_trace_csv(std::ostream& out, std::span<const SlotStats> trace);
+
+}  // namespace rfsp

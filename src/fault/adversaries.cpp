@@ -1,0 +1,190 @@
+#include "fault/adversaries.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+namespace {
+
+// Live processors that ran a cycle this slot, ascending PID.
+std::vector<Pid> started_pids(const MachineView& view) {
+  std::vector<Pid> out;
+  for (Pid pid = 0; pid < view.processors(); ++pid) {
+    if (view.trace(pid).started) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<Pid> failed_pids(const MachineView& view) {
+  std::vector<Pid> out;
+  for (Pid pid = 0; pid < view.processors(); ++pid) {
+    if (view.status(pid) == ProcStatus::kFailed) out.push_back(pid);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RandomAdversary
+
+RandomAdversary::RandomAdversary(std::uint64_t seed,
+                                 RandomAdversaryOptions opt)
+    : rng_(seed), opt_(opt) {
+  RFSP_CHECK(opt_.fail_prob >= 0 && opt_.fail_prob <= 1);
+  RFSP_CHECK(opt_.restart_prob >= 0 && opt_.restart_prob <= 1);
+  RFSP_CHECK(opt_.fail_after_frac >= 0 && opt_.fail_after_frac <= 1);
+}
+
+FaultDecision RandomAdversary::decide(const MachineView& view) {
+  FaultDecision d;
+  const std::vector<Pid> started = started_pids(view);
+
+  std::size_t mid_failures = 0;
+  for (Pid pid : started) {
+    if (pattern_used_ >= opt_.max_pattern) break;
+    if (!rng_.chance(opt_.fail_prob)) continue;
+    if (rng_.chance(opt_.fail_after_frac)) {
+      d.fail_after_cycle.push_back(pid);
+    } else {
+      // Self-clamp (constraint 2(i)): never abort the last surviving cycle.
+      if (mid_failures + 1 >= started.size()) continue;
+      d.fail_mid_cycle.push_back(pid);
+      ++mid_failures;
+    }
+    ++pattern_used_;
+  }
+  for (Pid pid : failed_pids(view)) {
+    if (rng_.chance(opt_.restart_prob)) {
+      d.restart.push_back(pid);
+      ++pattern_used_;
+    }
+  }
+  // Avoid stranding the machine: if this decision fails every live processor
+  // and restarts nobody, revive one casualty.
+  const std::size_t casualties =
+      d.fail_mid_cycle.size() + d.fail_after_cycle.size();
+  if (casualties == started.size() && !started.empty() && d.restart.empty() &&
+      failed_pids(view).empty()) {
+    const Pid revive = d.fail_after_cycle.empty() ? d.fail_mid_cycle.front()
+                                                  : d.fail_after_cycle.front();
+    d.restart.push_back(revive);
+    ++pattern_used_;
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// ScheduledAdversary
+
+ScheduledAdversary::ScheduledAdversary(FaultPattern pattern)
+    : pattern_(std::move(pattern)) {}
+
+FaultDecision ScheduledAdversary::decide(const MachineView& view) {
+  FaultDecision d;
+  const auto& events = pattern_.events();
+  std::size_t started = 0;
+  for (Pid pid = 0; pid < view.processors(); ++pid) {
+    if (view.trace(pid).started) ++started;
+  }
+
+  std::vector<std::uint8_t> failing(view.processors(), 0);
+  while (next_event_ < events.size() && events[next_event_].time <= view.slot()) {
+    const FaultEvent& e = events[next_event_++];
+    const Pid pid = e.pid;
+    if (pid >= view.processors()) {
+      ++skipped_;
+      continue;
+    }
+    if (e.tag == FaultTag::kFailure) {
+      const bool live =
+          view.status(pid) == ProcStatus::kLive && view.trace(pid).started;
+      if (!live || failing[pid]) {
+        ++skipped_;
+        continue;
+      }
+      // Keep at least one started cycle alive (self-clamp; see header).
+      if (d.fail_mid_cycle.size() + 1 >= started) {
+        ++skipped_;
+        continue;
+      }
+      d.fail_mid_cycle.push_back(pid);
+      failing[pid] = 1;
+    } else {
+      const bool restartable =
+          view.status(pid) == ProcStatus::kFailed || failing[pid];
+      if (!restartable) {
+        ++skipped_;
+        continue;
+      }
+      if (std::find(d.restart.begin(), d.restart.end(), pid) !=
+          d.restart.end()) {
+        ++skipped_;
+        continue;
+      }
+      d.restart.push_back(pid);
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// BurstAdversary
+
+BurstAdversary::BurstAdversary(BurstAdversaryOptions opt) : opt_(opt) {
+  RFSP_CHECK(opt_.period >= 1);
+}
+
+FaultDecision BurstAdversary::decide(const MachineView& view) {
+  FaultDecision d;
+  // Always revive old casualties (whether or not this is a burst slot), so
+  // the machine keeps its processors when restart == false bursts pile up.
+  if (opt_.restart) {
+    for (Pid pid : failed_pids(view)) {
+      if (pattern_used_ >= opt_.max_pattern) break;
+      d.restart.push_back(pid);
+      ++pattern_used_;
+    }
+  }
+  if (view.slot() % opt_.period != 0) return d;
+
+  const std::vector<Pid> started = started_pids(view);
+  if (started.size() <= 1) return d;
+  // Fail the highest-PID started processors; the lowest always survives.
+  const std::size_t victims =
+      std::min<std::size_t>(opt_.count, started.size() - 1);
+  for (std::size_t i = 0; i < victims; ++i) {
+    if (pattern_used_ >= opt_.max_pattern) break;
+    d.fail_mid_cycle.push_back(started[started.size() - 1 - i]);
+    ++pattern_used_;
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// ThrashingAdversary
+
+FaultDecision ThrashingAdversary::decide(const MachineView& view) {
+  FaultDecision d;
+  // Revive all previous casualties so the whole machine thrashes again.
+  for (Pid pid : failed_pids(view)) {
+    if (pattern_used_ >= max_pattern_) break;
+    d.restart.push_back(pid);
+    ++pattern_used_;
+  }
+  const std::vector<Pid> started = started_pids(view);
+  if (started.size() <= 1) return d;
+  // Abort every started cycle except the lowest PID's (Example 2.2 lets one
+  // write through per slot), then revive the casualties immediately.
+  for (std::size_t i = 1; i < started.size(); ++i) {
+    if (pattern_used_ + 2 > max_pattern_) break;  // failure + its restart
+    d.fail_mid_cycle.push_back(started[i]);
+    d.restart.push_back(started[i]);
+    pattern_used_ += 2;
+  }
+  return d;
+}
+
+}  // namespace rfsp

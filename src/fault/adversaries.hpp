@@ -1,0 +1,109 @@
+// General-purpose adversaries.
+//
+//  * NoFailures        — the fault-free baseline.
+//  * RandomAdversary   — i.i.d. failures/restarts (the "particular random
+//                        failure model" discussed for [KPS 90]); self-clamps
+//                        to respect model constraint 2(i).
+//  * ScheduledAdversary— replays a pre-scripted FaultPattern: an *off-line*
+//                        (non-adaptive) adversary in the sense of §5.
+//  * BurstAdversary    — deterministically fails (and by default immediately
+//                        restarts) `count` processors every `period` slots;
+//                        the knob used by experiments that sweep M = |F|.
+//  * ThrashingAdversary— Example 2.2: every slot, abort all but one started
+//                        cycle and restart the casualties. Against *any*
+//                        algorithm this drives S' toward Ω(P·N) while S
+//                        stays small — the reason completed work charges
+//                        only completed update cycles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/adversary.hpp"
+#include "util/rng.hpp"
+
+namespace rfsp {
+
+class NoFailures final : public Adversary {
+ public:
+  std::string_view name() const override { return "none"; }
+  FaultDecision decide(const MachineView&) override { return {}; }
+};
+
+struct RandomAdversaryOptions {
+  double fail_prob = 0.05;     // per live processor per slot
+  double restart_prob = 0.5;   // per failed processor per slot
+  double fail_after_frac = 0;  // fraction of failures landing post-write
+  // Stop injecting new failures once |F| (failures + restarts) reaches this
+  // budget; restarts continue so the run can terminate.
+  std::uint64_t max_pattern = UINT64_MAX;
+};
+
+class RandomAdversary final : public Adversary {
+ public:
+  RandomAdversary(std::uint64_t seed, RandomAdversaryOptions opt = {});
+
+  std::string_view name() const override { return "random"; }
+  FaultDecision decide(const MachineView& view) override;
+
+ private:
+  Rng rng_;
+  RandomAdversaryOptions opt_;
+  std::uint64_t pattern_used_ = 0;
+};
+
+class ScheduledAdversary final : public Adversary {
+ public:
+  // Events whose targets are in the wrong state when their slot arrives are
+  // skipped (counted in `skipped()`); if applying the slot's failures would
+  // abort every started cycle, failures are dropped from the back until one
+  // survivor remains (off-line patterns cannot adapt, the model still must
+  // hold). Pattern events must be in non-decreasing time order.
+  explicit ScheduledAdversary(FaultPattern pattern);
+
+  std::string_view name() const override { return "scheduled"; }
+  FaultDecision decide(const MachineView& view) override;
+
+  std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  FaultPattern pattern_;
+  std::size_t next_event_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+struct BurstAdversaryOptions {
+  Slot period = 1;          // act every `period` slots
+  Pid count = 1;            // processors to fail per burst
+  bool restart = true;      // revive the casualties in the same decision
+  std::uint64_t max_pattern = UINT64_MAX;  // |F| budget
+};
+
+class BurstAdversary final : public Adversary {
+ public:
+  explicit BurstAdversary(BurstAdversaryOptions opt);
+
+  std::string_view name() const override { return "burst"; }
+  FaultDecision decide(const MachineView& view) override;
+
+ private:
+  BurstAdversaryOptions opt_;
+  std::uint64_t pattern_used_ = 0;
+};
+
+class ThrashingAdversary final : public Adversary {
+ public:
+  // Optionally bound the number of thrashed slots (|F| grows by ~2P per
+  // slot); afterwards the adversary goes quiet and the run finishes.
+  explicit ThrashingAdversary(std::uint64_t max_pattern = UINT64_MAX)
+      : max_pattern_(max_pattern) {}
+
+  std::string_view name() const override { return "thrashing"; }
+  FaultDecision decide(const MachineView& view) override;
+
+ private:
+  std::uint64_t max_pattern_;
+  std::uint64_t pattern_used_ = 0;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,73 @@
+// The adversary interface (Definition 2.1).
+//
+// Once per slot, after all live processors have produced their update cycles
+// but before any write commits, the engine calls `decide`. The decision may:
+//   * fail processors mid-cycle  — their cycle does not complete: buffered
+//     writes are discarded, the cycle is charged to S' but not S, and the
+//     processor's private memory is destroyed;
+//   * fail processors after the cycle — the cycle completes normally (counts
+//     toward S) and the processor then stops ("failures can occur before or
+//     after a write ... but not during": word writes are atomic);
+//   * restart failed processors — they boot fresh state at the next slot.
+//
+// Model constraint 2(i): at any time at least one processor must be
+// executing an update cycle that successfully completes. The engine enforces
+// this and throws AdversaryViolation on a decision that would leave a slot
+// with started cycles but no completed one, or a reachable state with no
+// live processor. Stochastic adversaries therefore self-clamp (see
+// RandomAdversary).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "fault/pattern.hpp"
+#include "pram/types.hpp"
+#include "pram/view.hpp"
+
+namespace rfsp {
+
+// A failure *between the bit writes of one word write* — only meaningful
+// when the engine runs with EngineOptions::bit_atomic_writes, which drops
+// the §2.1 simplifying assumption that O(log N)-bit word writes are atomic
+// ("failures can occur before or after a write of a single bit but not
+// during the write, i.e., bit writes are atomic"). The processor fails
+// mid-cycle; its buffered writes before `write_index` commit whole, write
+// `write_index` commits only its lowest `keep_bits` bits (higher bits keep
+// the cell's previous contents), and later writes are discarded.
+struct TornWrite {
+  Pid pid = 0;
+  std::size_t write_index = 0;
+  unsigned keep_bits = 0;  // < 64; bit writes themselves stay atomic
+};
+
+struct FaultDecision {
+  // Live processors whose current cycle is aborted (not charged to S).
+  std::vector<Pid> fail_mid_cycle;
+  // Live processors that complete the current cycle and then stop.
+  std::vector<Pid> fail_after_cycle;
+  // Failed processors (including ones failed by this very decision) to
+  // revive: they run a fresh boot state from the next slot on.
+  std::vector<Pid> restart;
+  // Bit-granular mid-write failures (bit-atomic mode only). The listed
+  // processors are failed like fail_mid_cycle, but with partial commits.
+  std::vector<TornWrite> torn;
+
+  bool empty() const {
+    return fail_mid_cycle.empty() && fail_after_cycle.empty() &&
+           restart.empty() && torn.empty();
+  }
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Produce this slot's failures/restarts given full knowledge of the
+  // machine. Called exactly once per slot, in slot order.
+  virtual FaultDecision decide(const MachineView& view) = 0;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,52 @@
+#include "fault/iteration_killer.hpp"
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+IterationKiller::IterationKiller(Slot window, Slot kill_phase)
+    : window_(window), kill_phase_(kill_phase) {
+  if (window_ < 2 || kill_phase_ + 1 >= window_) {
+    throw ConfigError("iteration killer needs kill_phase + 1 < window");
+  }
+}
+
+FaultDecision IterationKiller::decide(const MachineView& view) {
+  FaultDecision d;
+  const Slot phi = view.slot() % window_;
+  if (phi == kill_phase_) {
+    // First strike: fail-and-restart everyone but the lowest started PID.
+    bool spared = false;
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (!view.trace(pid).started) continue;
+      if (!spared) {
+        spared = true;
+        continue;
+      }
+      d.fail_mid_cycle.push_back(pid);
+      d.restart.push_back(pid);
+    }
+  } else if (phi == kill_phase_ + 1) {
+    // Second strike: the spared survivor (still the lowest started PID —
+    // the restarts did not change indices). Constraint 2(i) needs another
+    // completer, so with fewer than two started processors the strike is
+    // skipped (a single-processor machine cannot be stalled this way).
+    std::size_t started = 0;
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (view.trace(pid).started) ++started;
+    }
+    if (started >= 2) {
+      for (Pid pid = 0; pid < view.processors(); ++pid) {
+        if (view.trace(pid).started &&
+            view.status(pid) == ProcStatus::kLive) {
+          d.fail_mid_cycle.push_back(pid);
+          d.restart.push_back(pid);
+          break;
+        }
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace rfsp

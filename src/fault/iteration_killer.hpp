@@ -1,0 +1,38 @@
+// The §4.1 termination-breaking pattern, packaged as a reusable adversary.
+//
+// "[Algorithm W] may not terminate if the adversary does not allow any of
+// the processors that were alive at the beginning of an iteration to
+// complete that iteration."
+//
+// Given the iteration length (in slots) of a phase-synchronized algorithm,
+// the killer strikes twice per window: at offset `kill_phase` it fails all
+// started processors but one (immediately restarting them — they re-enter
+// in waiting mode), and one slot later it fails the spared survivor. No
+// processor alive at a window's start survives it, so W — and V — never
+// record progress, while constraint 2(i) holds throughout (the freshly
+// restarted waiters complete their cycles). Algorithm X and the combined
+// VX of Theorem 4.9 shrug this off: X's traversal positions are stable in
+// shared memory, so its progress survives every strike.
+#pragma once
+
+#include "fault/adversary.hpp"
+
+namespace rfsp {
+
+class IterationKiller final : public Adversary {
+ public:
+  // `window`: the target algorithm's iteration length in engine slots
+  //   (for V under the combined interleave, twice VLayout::iteration).
+  // `kill_phase`: slot offset of the first strike within the window;
+  //   must leave the second strike (kill_phase + 1) inside the window.
+  explicit IterationKiller(Slot window, Slot kill_phase = 2);
+
+  std::string_view name() const override { return "iteration-killer"; }
+  FaultDecision decide(const MachineView& view) override;
+
+ private:
+  Slot window_;
+  Slot kill_phase_;
+};
+
+}  // namespace rfsp

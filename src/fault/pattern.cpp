@@ -1,0 +1,84 @@
+#include "fault/pattern.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+void FaultPattern::add(FaultTag tag, Pid pid, Slot time) {
+  RFSP_CHECK_MSG(events_.empty() || events_.back().time <= time,
+                 "fault events must be added in non-decreasing time order");
+  events_.push_back({tag, pid, time});
+  if (tag == FaultTag::kFailure) {
+    ++failures_;
+  } else {
+    ++restarts_;
+  }
+}
+
+std::span<const FaultEvent> FaultPattern::at(Slot t) const {
+  auto lo = std::lower_bound(
+      events_.begin(), events_.end(), t,
+      [](const FaultEvent& e, Slot s) { return e.time < s; });
+  auto hi = std::upper_bound(
+      events_.begin(), events_.end(), t,
+      [](Slot s, const FaultEvent& e) { return s < e.time; });
+  return {events_.data() + (lo - events_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+std::ostream& operator<<(std::ostream& out, const FaultEvent& e) {
+  return out << '<' << (e.tag == FaultTag::kFailure ? "failure" : "restart")
+             << ", " << e.pid << ", " << e.time << '>';
+}
+
+std::string pattern_to_text(const FaultPattern& pattern) {
+  std::string out;
+  for (const FaultEvent& e : pattern.events()) {
+    out += e.tag == FaultTag::kFailure ? 'F' : 'R';
+    out += ' ';
+    out += std::to_string(e.pid);
+    out += ' ';
+    out += std::to_string(e.time);
+    out += '\n';
+  }
+  return out;
+}
+
+FaultPattern pattern_from_text(std::string_view text) {
+  FaultPattern pattern;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::istringstream in{std::string(line)};
+    char tag = 0;
+    std::uint64_t pid = 0;
+    std::uint64_t time = 0;
+    if (!(in >> tag >> pid >> time) || (tag != 'F' && tag != 'R')) {
+      throw ConfigError("malformed fault-pattern line " +
+                        std::to_string(line_no) + ": '" + std::string(line) +
+                        "'");
+    }
+    try {
+      pattern.add(tag == 'F' ? FaultTag::kFailure : FaultTag::kRestart,
+                  static_cast<Pid>(pid), time);
+    } catch (const std::logic_error&) {
+      throw ConfigError("fault-pattern times out of order at line " +
+                        std::to_string(line_no));
+    }
+  }
+  return pattern;
+}
+
+}  // namespace rfsp

@@ -1,0 +1,65 @@
+// Failure patterns (Definition 2.1): sets of <tag, PID, t> triples where tag
+// is `failure` or `restart`, recorded against the synchronous clock. |F| is
+// the cardinality of the set and enters the overhead ratio σ.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+enum class FaultTag : std::uint8_t { kFailure, kRestart };
+
+struct FaultEvent {
+  FaultTag tag = FaultTag::kFailure;
+  Pid pid = 0;
+  Slot time = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+// A recorded (or pre-scripted) failure pattern. When recorded by the engine
+// it is exactly the pattern the adversary produced; when pre-scripted it is
+// an *off-line* (non-adaptive) adversary in the sense of §5.
+class FaultPattern {
+ public:
+  FaultPattern() = default;
+
+  void add(FaultTag tag, Pid pid, Slot time);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t restarts() const { return restarts_; }
+
+  // Events with .time == t, in insertion order. Requires events to have been
+  // added in non-decreasing time order (the engine records them that way).
+  std::span<const FaultEvent> at(Slot t) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& out, const FaultEvent& e);
+
+// Plain-text round trip, for persisting patterns between runs (recorded
+// adaptive patterns become off-line inputs elsewhere — §5's sense of
+// "off-line"). One event per line: `F <pid> <time>` or `R <pid> <time>`.
+std::string pattern_to_text(const FaultPattern& pattern);
+
+// Parses the format above; throws ConfigError on malformed input or
+// out-of-order times.
+FaultPattern pattern_from_text(std::string_view text);
+
+}  // namespace rfsp

@@ -1,0 +1,153 @@
+#include "fault/stalkers.hpp"
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+namespace {
+
+// Traversal position of `pid` as committed in shared memory (the stable
+// w[] cell algorithm X maintains); 0 = not initialized, layout.exited() =
+// left the tree.
+Addr committed_position(const MachineView& view, const XLayout& layout,
+                        Word stamp, Pid pid) {
+  return static_cast<Addr>(
+      payload_of(view.memory().read(layout.w(pid)), stamp));
+}
+
+bool is_unfinished_leaf(const MachineView& view, const XLayout& layout,
+                        Word stamp, Addr pos) {
+  if (pos < layout.n_pad || pos >= 2 * layout.n_pad) return false;
+  return payload_of(view.memory().read(layout.d(pos)), stamp) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PostOrderStalker
+
+PostOrderStalker::PostOrderStalker(XLayout layout, Word stamp)
+    : layout_(layout), stamp_(stamp) {}
+
+FaultDecision PostOrderStalker::decide(const MachineView& view) {
+  FaultDecision d;
+  const Addr pos0 = committed_position(view, layout_, stamp_, 0);
+
+  // Release failed processors only when processor 0 has *just* completed a
+  // new leaf ("when processors reach a leaf, the failure/restart procedure
+  // is repeated"): they then traverse toward the remaining work until they
+  // hit the next unfinished leaf, where they are stopped again.
+  const bool release = last_visited_ > last_release_mark_;
+  if (release) last_release_mark_ = last_visited_;
+
+  for (Pid pid = 1; pid < view.processors(); ++pid) {
+    const CycleTrace& trace = view.trace(pid);
+    if (trace.started) {
+      const Addr pos = committed_position(view, layout_, stamp_, pid);
+      // Reached an unfinished leaf where processor 0 is not: stop there.
+      if (pos != pos0 && is_unfinished_leaf(view, layout_, stamp_, pos)) {
+        d.fail_mid_cycle.push_back(pid);
+      }
+    } else if (release && view.status(pid) == ProcStatus::kFailed &&
+               static_cast<Addr>(pid) < last_visited_) {
+      // Freed once processor 0 has passed this PID's initial territory.
+      d.restart.push_back(pid);
+    }
+  }
+
+  // Track processor 0's post-order progress by the x-writes that will
+  // commit this slot (processor 0 is never failed, so its writes always
+  // commit; other survivors' x-writes only advance the frontier).
+  for (Pid pid = 0; pid < view.processors(); ++pid) {
+    const CycleTrace& trace = view.trace(pid);
+    if (!trace.started) continue;
+    bool dies = false;
+    for (Pid victim : d.fail_mid_cycle) {
+      if (victim == pid) {
+        dies = true;
+        break;
+      }
+    }
+    if (dies) continue;
+    for (const WriteOp& op : trace.writes) {
+      if (op.addr >= layout_.x_base && op.addr < layout_.x_base + layout_.n &&
+          payload_of(op.value, stamp_) != 0) {
+        last_visited_ =
+            std::max(last_visited_, op.addr - layout_.x_base + 1);
+      }
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// LeafStalker
+
+LeafStalker::LeafStalker(XLayout layout, LeafStalkerOptions opt, Word stamp)
+    : layout_(layout), opt_(opt), stamp_(stamp) {
+  const Addr element =
+      opt_.target_element == ~Addr{0} ? layout_.n - 1 : opt_.target_element;
+  RFSP_CHECK_MSG(element < layout_.n, "stalked element out of range");
+  target_node_ = layout_.leaf(element);
+}
+
+FaultDecision LeafStalker::decide(const MachineView& view) {
+  FaultDecision d;
+  if (released_) return d;
+
+  std::vector<Pid> touching;
+  std::size_t started = 0;
+  std::size_t live_or_failed = 0;  // processors still in the computation
+  for (Pid pid = 0; pid < view.processors(); ++pid) {
+    if (view.status(pid) != ProcStatus::kHalted) ++live_or_failed;
+    const CycleTrace& trace = view.trace(pid);
+    if (!trace.started) continue;
+    ++started;
+    if (committed_position(view, layout_, stamp_, pid) == target_node_) {
+      touching.push_back(pid);
+    }
+  }
+
+  if (!opt_.restart_variant) {
+    // Fail-stop case: kill touchers permanently until one processor is left
+    // alive in the whole machine; that survivor finishes alone.
+    if (started <= 1) {
+      released_ = true;
+      return d;
+    }
+    std::size_t alive = started;
+    for (Pid pid : touching) {
+      if (alive <= 1) break;
+      d.fail_mid_cycle.push_back(pid);
+      --alive;
+    }
+    return d;
+  }
+
+  // Restart case: touchers are failed and instantly revived (they resume at
+  // the stalked leaf and are caught again) until every processor that is
+  // still in the computation is simultaneously at the leaf.
+  std::size_t at_leaf = touching.size();
+  for (Pid pid = 0; pid < view.processors(); ++pid) {
+    if (view.status(pid) == ProcStatus::kFailed &&
+        committed_position(view, layout_, stamp_, pid) == target_node_) {
+      ++at_leaf;
+    }
+  }
+  if (at_leaf >= live_or_failed) {
+    // Everyone (not yet halted) is camped on the leaf: release them all.
+    released_ = true;
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (view.status(pid) == ProcStatus::kFailed) d.restart.push_back(pid);
+    }
+    return d;
+  }
+  for (Pid pid : touching) {
+    if (d.fail_mid_cycle.size() + 1 >= started) break;  // keep a completer
+    d.fail_mid_cycle.push_back(pid);
+    d.restart.push_back(pid);
+  }
+  return d;
+}
+
+}  // namespace rfsp

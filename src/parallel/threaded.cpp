@@ -1,0 +1,216 @@
+#include "parallel/threaded.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "writeall/algx.hpp"
+
+namespace rfsp {
+
+AtomicMemory::AtomicMemory(Addr size) : cells_(size) {
+  RFSP_CHECK(size > 0);
+  for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+}
+
+Word AtomicMemory::load(Addr a) const {
+  RFSP_CHECK(a < cells_.size());
+  return cells_[a].load(std::memory_order_seq_cst);
+}
+
+void AtomicMemory::store(Addr a, Word v) {
+  RFSP_CHECK(a < cells_.size());
+  cells_[a].store(v, std::memory_order_seq_cst);
+}
+
+bool AtomicMemory::compare_exchange(Addr a, Word expected, Word desired) {
+  RFSP_CHECK(a < cells_.size());
+  return cells_[a].compare_exchange_strong(expected, desired,
+                                           std::memory_order_seq_cst);
+}
+
+bool AtomicMemory::store_if_newer(Addr a, Word stamped_value) {
+  RFSP_CHECK(a < cells_.size());
+  const Word new_stamp = stamped_value >> 32;
+  Word expected = cells_[a].load(std::memory_order_seq_cst);
+  while ((expected >> 32) < new_stamp) {
+    if (cells_[a].compare_exchange_strong(expected, stamped_value,
+                                          std::memory_order_seq_cst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// One worker's run loop: the Figure 5 iteration against atomic memory.
+// `kill` is the injector's flag; observing it costs the worker its private
+// state (here: the iteration-local caches), after which it recovers from
+// the stable w[] cell — restart-at-recovery-action per [SS 83].
+class Worker {
+ public:
+  Worker(AtomicMemory& mem, const XLayout& layout, const ThreadedOptions& opt,
+         Addr out_base, Pid pid, std::atomic<bool>& kill,
+         std::atomic<std::uint64_t>& iters,
+         std::atomic<std::uint64_t>& failures)
+      : mem_(mem), layout_(layout), opt_(opt), out_base_(out_base),
+        pid_(pid), kill_(kill), iters_(iters), failures_(failures),
+        rng_(mix64(opt.seed, pid, 0x715ca1ab)) {}
+
+  void operator()() {
+    std::uint64_t local_iters = 0;
+    for (;;) {
+      if (kill_.exchange(false)) {
+        // Injected failure: lose private memory, reseed the coin stream
+        // from stable data (seed, PID, progress so far), recover from w[].
+        failures_.fetch_add(1);
+        rng_ = Rng(mix64(opt_.seed, pid_, local_iters));
+      }
+      ++local_iters;
+
+      const Word wv = mem_.load(layout_.w(pid_));
+      if (wv == 0) {
+        mem_.store(layout_.w(pid_), initial_position());
+        continue;
+      }
+      if (wv == layout_.exited()) break;
+
+      const Addr pos = static_cast<Addr>(wv);
+      if (mem_.load(layout_.d(pos)) != 0) {
+        const Addr up = pos / 2;
+        mem_.store(layout_.w(pid_),
+                   up == 0 ? layout_.exited() : static_cast<Word>(up));
+        continue;
+      }
+
+      if (pos >= layout_.n_pad) {  // leaf
+        const Addr element = pos - layout_.n_pad;
+        if (element >= layout_.n) {
+          mem_.store(layout_.d(pos), 1);  // structural padding
+        } else if (mem_.load(layout_.x(element)) != 0) {
+          mem_.store(layout_.d(pos), 1);
+        } else {
+          if (opt_.map) {
+            // Payload before marker: the seq_cst marker store publishes
+            // the result for every later observer.
+            mem_.store(out_base_ + element, opt_.map(element));
+          }
+          mem_.store(layout_.x(element), 1);
+        }
+        continue;
+      }
+
+      const Addr left = 2 * pos;
+      const Addr right = 2 * pos + 1;
+      const bool ld = layout_.structurally_done(left) ||
+                      mem_.load(layout_.d(left)) != 0;
+      const bool rd = layout_.structurally_done(right) ||
+                      mem_.load(layout_.d(right)) != 0;
+      if (ld && rd) {
+        mem_.store(layout_.d(pos), 1);
+        continue;
+      }
+      Addr next;
+      if (ld != rd) {
+        next = ld ? right : left;
+      } else if (opt_.random_descent) {
+        next = rng_.below(2) != 0 ? right : left;
+      } else {
+        const unsigned depth = floor_log2(pos);
+        const std::uint64_t significant =
+            static_cast<std::uint64_t>(pid_) % layout_.n_pad;
+        next = msb_bit(significant, depth, layout_.height) ? right : left;
+      }
+      mem_.store(layout_.w(pid_), static_cast<Word>(next));
+    }
+    iters_.fetch_add(local_iters);
+  }
+
+ private:
+  Word initial_position() const {
+    const Addr idx =
+        opt_.random_descent
+            ? static_cast<Addr>(mix64(opt_.seed, pid_, 1) % layout_.n_pad)
+            : static_cast<Addr>(pid_) % layout_.n_pad;
+    return static_cast<Word>(layout_.leaf(idx));
+  }
+
+  AtomicMemory& mem_;
+  const XLayout& layout_;
+  const ThreadedOptions& opt_;
+  Addr out_base_;
+  Pid pid_;
+  std::atomic<bool>& kill_;
+  std::atomic<std::uint64_t>& iters_;
+  std::atomic<std::uint64_t>& failures_;
+  Rng rng_;
+};
+
+}  // namespace
+
+ThreadedResult run_threaded_writeall(const ThreadedOptions& options) {
+  if (options.workers < 1) throw ConfigError("need at least one worker");
+  if (options.n < 1) throw ConfigError("need a non-empty instance");
+  if (options.workers > options.n) {
+    throw ConfigError("algorithm X requires P <= N");
+  }
+
+  const XLayout layout(0, options.n, options.n,
+                       static_cast<Pid>(options.workers));
+  const Addr out_base = layout.aux_end();  // map output, when requested
+  AtomicMemory mem(out_base + (options.map ? options.n : 0) + 1);
+
+  std::atomic<std::uint64_t> iters{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::atomic<bool>> kill(options.workers);
+  for (auto& k : kill) k.store(false);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.workers);
+  for (unsigned w = 0; w < options.workers; ++w) {
+    threads.emplace_back(Worker(mem, layout, options, out_base,
+                                static_cast<Pid>(w), kill[w], iters,
+                                failures));
+  }
+
+  // Failure injector: while the tree is unfinished, flip worker kill flags
+  // at a rate calibrated to options.failures_per_worker.
+  if (options.failures_per_worker > 0) {
+    Rng rng(mix64(options.seed, 0xfa11, 0x1e57));
+    while (mem.load(layout.d(1)) == 0) {
+      const std::uint64_t w = rng.below(options.workers);
+      kill[w].store(true);  // counted by the worker when observed
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<long>(50 / options.failures_per_worker + 1)));
+    }
+  }
+
+  for (auto& t : threads) t.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  ThreadedResult result;
+  result.solved = true;
+  for (Addr i = 0; i < options.n; ++i) {
+    if (mem.load(layout.x(i)) == 0) {
+      result.solved = false;
+      break;
+    }
+  }
+  result.loop_iterations = iters.load();
+  result.injected_failures = failures.load();
+  result.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  if (options.map) {
+    result.map_output.reserve(options.n);
+    for (Addr i = 0; i < options.n; ++i) {
+      result.map_output.push_back(mem.load(out_base + i));
+    }
+  }
+  return result;
+}
+
+}  // namespace rfsp

@@ -1,0 +1,86 @@
+// A real-concurrency runtime for algorithm X (and its randomized ACC
+// variant): OS threads over std::atomic shared words, with a failure
+// injector that models restartable fail-stop workers.
+//
+// Why this exists (§2.3): the paper argues its algorithms run on an actual
+// multiprocessor built from fail-stop processors, reliable shared memory,
+// and a combining network. Algorithm X in particular needs *no* global
+// synchrony: every decision is local, every shared write is monotone
+// (0 → 1 progress marks) or processor-private (the w[] position), so the
+// algorithm stays correct under arbitrary interleaving — asynchrony is
+// just another adversary. This runtime demonstrates that claim: worker
+// threads execute the Figure 5 loop against atomic memory while an
+// injector "fails" them (a failed worker abandons its private state and
+// recovers from its stable w[] cell, exactly the [SS 83] semantics).
+//
+// The deterministic cycle-level engine in src/pram remains the measurement
+// instrument (work counts need a clock); this runtime is the existence
+// proof on real hardware.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+// Shared memory of atomic words; all accesses are seq_cst (the combining
+// network of §2.3 serializes concurrent access; seq_cst is its moral
+// equivalent and keeps the reasoning simple).
+class AtomicMemory {
+ public:
+  explicit AtomicMemory(Addr size);
+
+  Word load(Addr a) const;
+  void store(Addr a, Word v);
+  Addr size() const { return static_cast<Addr>(cells_.size()); }
+
+  // Epoch-monotone conditional store for stamped cells (layout.hpp packs
+  // (stamp << 32) | payload): commits `stamped_value` only while the
+  // cell's current stamp is strictly below the new one — first write of an
+  // epoch wins, staler threads' writes bounce. This is what lets lagging
+  // workers (descheduled mid-pass for arbitrarily long) coexist with
+  // epoch-reusing structures without slot-level atomicity: see
+  // parallel/threaded_sim.hpp. Returns whether the store landed.
+  bool store_if_newer(Addr a, Word stamped_value);
+
+  // Plain single-shot CAS (monotone counters such as the threaded
+  // executor's phase word). Returns whether the exchange happened.
+  bool compare_exchange(Addr a, Word expected, Word desired);
+
+ private:
+  std::vector<std::atomic<Word>> cells_;
+};
+
+struct ThreadedOptions {
+  Addr n = 1024;          // Write-All instance size
+  unsigned workers = 4;   // OS threads (the P processors)
+  bool random_descent = false;  // false: algorithm X; true: ACC variant
+  std::uint64_t seed = 1;
+
+  // Failure injection: mean injections per worker over the whole run
+  // (Poisson-ish via per-iteration coin flips); 0 disables.
+  double failures_per_worker = 0.0;
+
+  // Optional per-element payload: visiting element i stores map(i) into an
+  // output region *before* publishing the visited marker (the seq_cst
+  // marker store orders the payload for every later reader). `map` must be
+  // pure — a killed worker's successor recomputes it. Results come back in
+  // ThreadedResult::map_output.
+  std::function<Word(Addr)> map;
+};
+
+struct ThreadedResult {
+  bool solved = false;            // x[0..n) all ones at the end
+  std::uint64_t loop_iterations = 0;  // total Figure 5 iterations executed
+  std::uint64_t injected_failures = 0;
+  double wall_seconds = 0.0;
+  std::vector<Word> map_output;   // n values when options.map was set
+};
+
+ThreadedResult run_threaded_writeall(const ThreadedOptions& options);
+
+}  // namespace rfsp

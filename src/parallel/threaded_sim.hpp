@@ -1,0 +1,58 @@
+// The Theorem 4.1 executor on real OS threads: arbitrary synchronous PRAM
+// programs running over std::atomic shared words, with workers that crash
+// (lose their private state) and restart at any OS-scheduling granularity.
+//
+// Same two-pass reduction as src/sim (compute pass logs each simulated
+// step's writes, commit pass applies them; a monotone phase word sequences
+// passes; algorithm X distributes each pass's N tasks), but without the
+// engine's slot atomicity the hard problem is the *straggler*: a worker
+// descheduled mid-pass may wake up arbitrarily many passes later and issue
+// writes computed from a bygone epoch. The defense is structural:
+//
+//  1. every shared cell that crosses passes (simulated memory, scratch
+//     logs, progress markers/trees) is epoch-stamped, and all writes to
+//     them go through AtomicMemory::store_if_newer — a CAS loop that
+//     commits only while the cell's stamp is strictly below the writer's
+//     epoch. First write of an epoch wins; stale writes bounce.
+//  2. a pass's phase word advances only after its progress-tree root is
+//     marked, which happens only after every task's log is complete (count
+//     is written after its pairs, markers after counts). Hence when epoch
+//     e+1 begins, every epoch-e cell a reader may consult is final, so a
+//     straggler still in epoch e can only re-write values equal to what is
+//     already there — and the strict-stamp CAS drops even those.
+//  3. simulated memory reads take the payload of whatever epoch a cell
+//     carries (its latest committed value — stamps on data cells only ever
+//     grow), and the compute pass runs strictly before its commit pass, so
+//     every executor of task j computes from identical inputs.
+//
+// Supported disciplines: EREW/CREW/COMMON (concurrent writes must agree,
+// which is what makes "first write wins" value-deterministic). ARBITRARY
+// needs the deterministic engine (sim/simulator.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_program.hpp"
+
+namespace rfsp {
+
+struct ThreadedSimOptions {
+  unsigned workers = 4;
+  std::uint64_t seed = 1;
+  // Mean injected restarts per worker over the run; 0 disables.
+  double failures_per_worker = 0.0;
+};
+
+struct ThreadedSimResult {
+  bool completed = false;
+  std::vector<Word> memory;  // final simulated memory
+  std::uint64_t loop_iterations = 0;
+  std::uint64_t injected_failures = 0;
+  double wall_seconds = 0.0;
+};
+
+ThreadedSimResult simulate_threaded(const SimProgram& program,
+                                    const ThreadedSimOptions& options);
+
+}  // namespace rfsp

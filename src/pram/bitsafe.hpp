@@ -1,0 +1,72 @@
+// BitSafeCell: word-atomic semantics from single-bit-atomic writes.
+//
+// §2.1 assumes O(log max{N,P})-bit word writes are atomic "for simplicity
+// of presentation", noting that algorithms "can be easily converted to use
+// only single bit atomic writes as in [KS 89]". This header is that
+// conversion: under EngineOptions::bit_atomic_writes the adversary may cut
+// a word write between its bit writes (FaultDecision::torn), leaving a
+// half-updated cell — and a BitSafeCell still always reads as either the
+// old or the new value.
+//
+// Encoding (3 physical cells): two value buffers and a one-bit toggle
+// selecting the valid buffer. A logical write puts the new value into the
+// inactive buffer and then flips the toggle; the flip is a single-bit
+// write, hence atomic under the model ("failures can occur before or after
+// a write of a single bit but not during"). Tearing anywhere in the
+// sequence leaves the toggle pointing at a fully-written buffer:
+//
+//   torn inside the buffer write  -> toggle unchanged -> old value
+//   torn before the toggle write  -> toggle unchanged -> old value
+//   toggle bit committed          -> new buffer complete -> new value
+//
+// Costs per logical access: read = 2 dependent shared reads; write =
+// 1 shared read (the current toggle) + 2 shared writes. Both fit in one
+// update cycle, leaving budget for the caller's own bookkeeping; machine
+// constants grow, asymptotics do not — exactly the paper's remark.
+#pragma once
+
+#include "pram/program.hpp"
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+class BitSafeCell {
+ public:
+  // The cell occupies [base, base + kCellsPerWord).
+  explicit BitSafeCell(Addr base) : base_(base) {}
+
+  static constexpr Addr kCellsPerWord = 3;
+
+  // Current logical value (2 reads). Cells start cleared, so the initial
+  // logical value is 0 (toggle 0 selects buffer 0, which is 0).
+  Word read(CycleContext& ctx) const {
+    const Word toggle = ctx.read(base_ + 2) & 1;
+    return ctx.read(base_ + static_cast<Addr>(toggle));
+  }
+
+  // Replace the logical value (1 read + 2 writes). Concurrent COMMON
+  // writers remain COMMON-safe: they observe the same toggle and produce
+  // identical buffer and toggle writes.
+  void write(CycleContext& ctx, Word v) const {
+    const Word toggle = ctx.read(base_ + 2) & 1;
+    const Word other = toggle ^ 1;
+    ctx.write(base_ + static_cast<Addr>(other), v);
+    ctx.write(base_ + 2, other);
+  }
+
+  // Variant for callers that already read the toggle this cycle (saves the
+  // read; `current_toggle` must be this cycle's observed toggle).
+  void write_with_toggle(CycleContext& ctx, Word current_toggle,
+                         Word v) const {
+    const Word other = (current_toggle & 1) ^ 1;
+    ctx.write(base_ + static_cast<Addr>(other), v);
+    ctx.write(base_ + 2, other);
+  }
+
+  Addr base() const { return base_; }
+
+ private:
+  Addr base_;
+};
+
+}  // namespace rfsp

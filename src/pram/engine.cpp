@@ -1,0 +1,349 @@
+#include "pram/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+// ---------------------------------------------------------------------------
+// CycleContext (declared in pram/program.hpp)
+
+CycleContext::CycleContext(const SharedMemory& mem, CycleTrace& trace,
+                           Slot slot, std::size_t read_budget,
+                           std::size_t write_budget, bool snapshot_allowed)
+    : mem_(mem), trace_(trace), slot_(slot), read_budget_(read_budget),
+      write_budget_(write_budget), snapshot_allowed_(snapshot_allowed) {}
+
+Word CycleContext::read(Addr a) {
+  if (trace_.used_snapshot || trace_.reads.size() >= read_budget_) {
+    throw ModelViolation("update cycle exceeded its read budget of " +
+                         std::to_string(read_budget_));
+  }
+  trace_.reads.push_back(a);
+  return mem_.read(a);
+}
+
+void CycleContext::write(Addr a, Word v) {
+  if (trace_.writes.size() >= write_budget_) {
+    throw ModelViolation("update cycle exceeded its write budget of " +
+                         std::to_string(write_budget_));
+  }
+  trace_.writes.push_back({a, v});
+}
+
+std::span<const Word> CycleContext::snapshot() {
+  if (!snapshot_allowed_) {
+    throw ModelViolation(
+        "whole-memory snapshot read requires EngineOptions::unit_cost_snapshot"
+        " (the strong model of §3)");
+  }
+  if (trace_.used_snapshot || !trace_.reads.empty()) {
+    throw ModelViolation("snapshot consumes the entire read budget");
+  }
+  trace_.used_snapshot = true;
+  return mem_.words();
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+Engine::Engine(const Program& program, EngineOptions options)
+    : program_(program), options_(options), mem_(program.memory_size()) {
+  const Pid p = program_.processors();
+  if (p == 0) throw ConfigError("program declares zero processors");
+  if (options_.read_budget == 0 || options_.read_budget > kReadCap ||
+      options_.write_budget == 0 || options_.write_budget > kWriteCap) {
+    throw ConfigError("per-cycle budgets out of range");
+  }
+  states_.resize(p);
+  status_.assign(p, ProcStatus::kLive);
+  traces_.resize(p);
+  mark_.assign(p, 0);
+  for (Pid pid = 0; pid < p; ++pid) states_[pid] = program_.boot(pid);
+  program_.init_memory(mem_);
+}
+
+std::size_t Engine::run_cycles() {
+  std::size_t started = 0;
+  const Pid p = program_.processors();
+  for (Pid pid = 0; pid < p; ++pid) {
+    CycleTrace& trace = traces_[pid];
+    trace = CycleTrace{};
+    if (status_[pid] != ProcStatus::kLive) continue;
+    trace.started = true;
+    ++started;
+    CycleContext ctx(mem_, trace, slot_, options_.read_budget,
+                     options_.write_budget, options_.unit_cost_snapshot);
+    trace.halting = !states_[pid]->cycle(ctx);
+  }
+  return started;
+}
+
+void Engine::validate_decision(const FaultDecision& d) const {
+  const Pid p = program_.processors();
+  std::fill(mark_.begin(), mark_.end(), 0);
+  auto check_fail_target = [&](Pid pid) {
+    if (pid >= p) throw AdversaryViolation("failure of out-of-range PID");
+    if (status_[pid] != ProcStatus::kLive || !traces_[pid].started) {
+      throw AdversaryViolation("failure of a processor that is not live");
+    }
+    if (mark_[pid] != 0) {
+      throw AdversaryViolation("duplicate failure of one processor");
+    }
+    mark_[pid] = 1;
+  };
+  for (Pid pid : d.fail_mid_cycle) check_fail_target(pid);
+  for (Pid pid : d.fail_after_cycle) check_fail_target(pid);
+  for (const TornWrite& tear : d.torn) {
+    if (!options_.bit_atomic_writes) {
+      throw AdversaryViolation(
+          "torn writes require EngineOptions::bit_atomic_writes");
+    }
+    check_fail_target(tear.pid);
+    if (tear.write_index >= traces_[tear.pid].writes.size()) {
+      throw AdversaryViolation(
+          "torn write index beyond the cycle's buffered writes");
+    }
+    if (tear.keep_bits >= 64) {
+      throw AdversaryViolation("torn write must keep fewer than 64 bits");
+    }
+  }
+  for (Pid pid : d.restart) {
+    if (pid >= p) throw AdversaryViolation("restart of out-of-range PID");
+    // Restart targets must be failed, *after* this decision's failures take
+    // effect (an adversary may fail and immediately restart a processor —
+    // the restarted state runs from the next slot).
+    if (status_[pid] != ProcStatus::kFailed && mark_[pid] != 1) {
+      throw AdversaryViolation("restart of a processor that is not failed");
+    }
+    if (mark_[pid] == 2) {
+      throw AdversaryViolation("duplicate restart of one processor");
+    }
+    if (mark_[pid] == 0) mark_[pid] = 2;  // plain restart of an old failure
+    else mark_[pid] = 2;                  // fail-then-restart this slot
+  }
+}
+
+void Engine::commit_writes(const FaultDecision& d) {
+  // Mark mid-cycle casualties: their buffered writes are discarded. Torn
+  // processors are casualties too, but parts of their writes land below.
+  std::fill(mark_.begin(), mark_.end(), 0);
+  for (Pid pid : d.fail_mid_cycle) mark_[pid] = 1;
+  for (const TornWrite& tear : d.torn) mark_[tear.pid] = 1;
+
+  write_buf_.clear();
+  const Pid p = program_.processors();
+  for (Pid pid = 0; pid < p; ++pid) {
+    const CycleTrace& trace = traces_[pid];
+    if (!trace.started || mark_[pid] != 0) continue;
+    for (const WriteOp& op : trace.writes) {
+      write_buf_.push_back({op.addr, op.value, pid});
+    }
+  }
+  std::sort(write_buf_.begin(), write_buf_.end(),
+            [](const PendingWrite& a, const PendingWrite& b) {
+              return a.addr != b.addr ? a.addr < b.addr : a.pid < b.pid;
+            });
+
+  for (std::size_t i = 0; i < write_buf_.size();) {
+    std::size_t j = i + 1;
+    while (j < write_buf_.size() && write_buf_[j].addr == write_buf_[i].addr) {
+      ++j;
+    }
+    const std::size_t writers = j - i;
+    if (writers > 1) {
+      switch (options_.model) {
+        case CrcwModel::kCommon:
+          for (std::size_t k = i + 1; k < j; ++k) {
+            if (write_buf_[k].value != write_buf_[i].value) {
+              throw ModelViolation(
+                  "COMMON CRCW conflict: concurrent writers disagree at cell " +
+                  std::to_string(write_buf_[i].addr));
+            }
+          }
+          break;
+        case CrcwModel::kWeak:
+          for (std::size_t k = i; k < j; ++k) {
+            if (write_buf_[k].value != options_.weak_value) {
+              throw ModelViolation(
+                  "WEAK CRCW conflict: concurrent write of a non-designated "
+                  "value at cell " +
+                  std::to_string(write_buf_[i].addr));
+            }
+          }
+          break;
+        case CrcwModel::kArbitrary:
+        case CrcwModel::kPriority:
+          // Deterministic resolution: lowest PID wins (sorted order).
+          break;
+        case CrcwModel::kCrew:
+        case CrcwModel::kErew:
+          throw ModelViolation("concurrent write under CREW/EREW at cell " +
+                               std::to_string(write_buf_[i].addr));
+      }
+    }
+    // Under COMMON all values agree; under ARBITRARY/PRIORITY the first
+    // (lowest-PID) entry is the winner.
+    mem_.write(write_buf_[i].addr, write_buf_[i].value);
+    i = j;
+  }
+
+  // Torn writes (bit-atomic mode): the casualty's earlier writes land
+  // whole, the torn one lands low-bits-first, later ones are lost. They
+  // apply after the intact commits, in PID order (the serialization the
+  // combining network would impose on the straggler's bit stream).
+  for (const TornWrite& tear : d.torn) {
+    const CycleTrace& trace = traces_[tear.pid];
+    for (std::size_t w = 0; w < tear.write_index; ++w) {
+      mem_.write(trace.writes[w].addr, trace.writes[w].value);
+    }
+    const WriteOp& op = trace.writes[tear.write_index];
+    const Word mask = (Word{1} << tear.keep_bits) - 1;
+    const Word old = mem_.read(op.addr);
+    mem_.write(op.addr, (old & ~mask) | (op.value & mask));
+  }
+}
+
+void Engine::check_read_conflicts() const {
+  std::vector<Addr> reads;
+  for (const CycleTrace& trace : traces_) {
+    if (!trace.started) continue;
+    for (const Addr a : trace.reads) reads.push_back(a);
+  }
+  std::sort(reads.begin(), reads.end());
+  if (std::adjacent_find(reads.begin(), reads.end()) != reads.end()) {
+    throw ModelViolation("concurrent read under EREW");
+  }
+}
+
+RunResult Engine::run(Adversary& adversary) {
+  if (ran_) throw ConfigError("Engine::run is single-shot");
+  ran_ = true;
+
+  RunResult result;
+  const Pid p = program_.processors();
+
+  for (;;) {
+    if (program_.goal(mem_)) {
+      result.goal_met = true;
+      break;
+    }
+    if (slot_ >= options_.max_slots) {
+      result.slot_limit = true;
+      break;
+    }
+
+    const std::size_t started = run_cycles();
+    if (started == 0) {
+      const bool any_halted =
+          std::any_of(status_.begin(), status_.end(), [](ProcStatus s) {
+            return s == ProcStatus::kHalted;
+          });
+      if (any_halted) {
+        // Part of the machine finished voluntarily and the rest is failed:
+        // the algorithm believed it was done while the goal is unmet — a
+        // fault-tolerance deadlock of the *algorithm* (e.g. the trivial
+        // assignment after one permanent crash), reported as a result.
+        result.deadlock = true;
+        break;
+      }
+      // Nobody halted and nobody is live: the adversary stranded a running
+      // computation, violating model constraint 2(i).
+      throw AdversaryViolation(
+          "no live processor at slot " + std::to_string(slot_) +
+          " while the computation is unfinished (model constraint 2(i))");
+    }
+    tally_.peak_live = std::max<std::uint64_t>(tally_.peak_live, started);
+
+    const MachineView view(mem_, slot_, status_, traces_, tally_);
+    FaultDecision decision = adversary.decide(view);
+    validate_decision(decision);
+
+    const std::size_t completed =
+        started - decision.fail_mid_cycle.size() - decision.torn.size();
+    if (completed == 0) {
+      throw AdversaryViolation(
+          "adversary aborted every started update cycle at slot " +
+          std::to_string(slot_) + " (model constraint 2(i))");
+    }
+
+    if (options_.model == CrcwModel::kErew && options_.detect_read_conflicts) {
+      check_read_conflicts();
+    }
+    commit_writes(decision);
+
+    // Accounting (Definitions 2.2/2.3).
+    tally_.completed_work += completed;
+    tally_.attempted_work += started;
+    const std::size_t failure_events = decision.fail_mid_cycle.size() +
+                                       decision.fail_after_cycle.size() +
+                                       decision.torn.size();
+    tally_.failures += failure_events;
+    tally_.restarts += decision.restart.size();
+    if (options_.record_trace) {
+      result.trace.push_back({slot_, static_cast<std::uint32_t>(started),
+                              static_cast<std::uint32_t>(completed),
+                              static_cast<std::uint32_t>(failure_events),
+                              static_cast<std::uint32_t>(
+                                  decision.restart.size())});
+    }
+    if (options_.record_pattern) {
+      for (Pid pid : decision.fail_mid_cycle) {
+        result.pattern.add(FaultTag::kFailure, pid, slot_);
+      }
+      for (Pid pid : decision.fail_after_cycle) {
+        result.pattern.add(FaultTag::kFailure, pid, slot_);
+      }
+      for (const TornWrite& tear : decision.torn) {
+        result.pattern.add(FaultTag::kFailure, tear.pid, slot_);
+      }
+      for (Pid pid : decision.restart) {
+        result.pattern.add(FaultTag::kRestart, pid, slot_);
+      }
+    }
+
+    // State transitions: failures destroy private memory (§2.1 point 3) ...
+    for (Pid pid : decision.fail_mid_cycle) {
+      states_[pid].reset();
+      status_[pid] = ProcStatus::kFailed;
+    }
+    for (Pid pid : decision.fail_after_cycle) {
+      states_[pid].reset();
+      status_[pid] = ProcStatus::kFailed;
+    }
+    for (const TornWrite& tear : decision.torn) {
+      states_[tear.pid].reset();
+      status_[tear.pid] = ProcStatus::kFailed;
+    }
+    // ... voluntary halts take effect only for cycles that completed ...
+    for (Pid pid = 0; pid < p; ++pid) {
+      if (traces_[pid].started && traces_[pid].halting &&
+          status_[pid] == ProcStatus::kLive) {
+        states_[pid].reset();
+        status_[pid] = ProcStatus::kHalted;
+        ++tally_.halted;
+      }
+    }
+    // ... and restarts boot fresh states, live from the next slot.
+    for (Pid pid : decision.restart) {
+      states_[pid] = program_.boot(pid);
+      status_[pid] = ProcStatus::kLive;
+    }
+
+    ++slot_;
+    ++tally_.slots;
+  }
+
+  result.tally = tally_;
+  return result;
+}
+
+RunResult run_program(const Program& program, Adversary& adversary,
+                      EngineOptions options) {
+  Engine engine(program, options);
+  return engine.run(adversary);
+}
+
+}  // namespace rfsp

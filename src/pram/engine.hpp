@@ -1,0 +1,127 @@
+// The restartable fail-stop CRCW PRAM engine.
+//
+// One engine "slot" is one update cycle executed (in lock step) by every
+// live processor:
+//
+//   1. every live processor runs ProcessorState::cycle — reads are served
+//      from the slot-start memory, writes are buffered;
+//   2. the adversary inspects the full machine state (MachineView) and
+//      decides failures/restarts (Definition 2.1);
+//   3. writes of *completed* cycles commit atomically under the configured
+//      CRCW conflict rule; aborted cycles' writes are discarded;
+//   4. accounting: completed cycles -> S, started cycles -> S',
+//      failure/restart events -> |F| (Definitions 2.2/2.3).
+//
+// The engine enforces the model invariants of §2.1 and throws
+// ModelViolation / AdversaryViolation when an algorithm or adversary breaks
+// them; see util/error.hpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "accounting/tally.hpp"
+#include "fault/adversary.hpp"
+#include "fault/pattern.hpp"
+#include "pram/memory.hpp"
+#include "pram/program.hpp"
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+struct EngineOptions {
+  // Per-update-cycle budgets; the paper fixes "e.g. <= 4" reads and
+  // "e.g. <= 2" writes (§2.1). Budgets are constants of the machine,
+  // not per-algorithm knobs; they must not exceed kReadCap/kWriteCap.
+  std::size_t read_budget = 4;
+  std::size_t write_budget = 2;
+
+  CrcwModel model = CrcwModel::kCommon;
+
+  // The designated concurrent-write value of the WEAK CRCW variant
+  // (Theorem 4.1 lists WEAK among the simulable disciplines). A lone
+  // writer may write anything; concurrent writers must all write this.
+  Word weak_value = 1;
+
+  // Enable the strong model of §3: a processor may read and locally process
+  // the entire shared memory at unit cost (used by Theorems 3.1/3.2 only).
+  bool unit_cost_snapshot = false;
+
+  // Drop §2.1's simplifying assumption that word writes are atomic: the
+  // adversary may additionally fail processors *between the bit writes of
+  // one word write* (FaultDecision::torn), leaving a partially-updated
+  // cell. Individual bit writes remain atomic, per the model. See
+  // pram/bitsafe.hpp for the [KS 89]-style conversion that restores
+  // word-atomic semantics on top of this.
+  bool bit_atomic_writes = false;
+
+  // Detect concurrent reads of one cell within a slot (EREW discipline).
+  // Slot-granularity approximation; off by default.
+  bool detect_read_conflicts = false;
+
+  // Record the full failure pattern (can be large) into RunResult::pattern.
+  bool record_pattern = false;
+
+  // Record the per-slot time series (started/completed/failures/restarts)
+  // into RunResult::trace — one SlotStats per slot.
+  bool record_trace = false;
+
+  // Safety valve: stop after this many slots even if the goal is unmet
+  // (e.g. algorithm W genuinely need not terminate under restarts).
+  Slot max_slots = Slot{1} << 26;
+};
+
+struct RunResult {
+  WorkTally tally;
+  bool goal_met = false;    // Program::goal held
+  bool deadlock = false;    // every processor halted but the goal is unmet
+  bool slot_limit = false;  // max_slots exhausted
+  FaultPattern pattern;     // populated iff EngineOptions::record_pattern
+  std::vector<SlotStats> trace;  // populated iff EngineOptions::record_trace
+};
+
+class Engine {
+ public:
+  Engine(const Program& program, EngineOptions options = {});
+
+  // Execute the program to completion under `adversary`. Single-shot:
+  // calling run twice on one Engine is a ConfigError.
+  RunResult run(Adversary& adversary);
+
+  // Final (or current) shared memory, for verification.
+  const SharedMemory& memory() const { return mem_; }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  std::size_t run_cycles();  // step 1; returns # of started cycles
+  void validate_decision(const FaultDecision& d) const;
+  void commit_writes(const FaultDecision& d);
+  void check_read_conflicts() const;
+
+  const Program& program_;
+  EngineOptions options_;
+  SharedMemory mem_;
+  std::vector<std::unique_ptr<ProcessorState>> states_;
+  std::vector<ProcStatus> status_;
+  std::vector<CycleTrace> traces_;
+  WorkTally tally_;
+  Slot slot_ = 0;
+  bool ran_ = false;
+
+  // Scratch reused across slots to avoid per-slot allocation.
+  struct PendingWrite {
+    Addr addr;
+    Word value;
+    Pid pid;
+  };
+  mutable std::vector<PendingWrite> write_buf_;
+  mutable std::vector<std::uint8_t> mark_;
+};
+
+// Convenience: build an engine, run `program` under `adversary`, verify
+// nothing threw, and return the result plus final memory via out-param.
+RunResult run_program(const Program& program, Adversary& adversary,
+                      EngineOptions options = {});
+
+}  // namespace rfsp

@@ -1,0 +1,39 @@
+// Reliable shared memory (§2.1 point 3 / §2.3 item 2).
+//
+// Failures never corrupt shared memory; word writes are atomic. The engine
+// buffers all writes of a slot and commits only those belonging to completed
+// update cycles, so during a slot the memory always shows the slot-start
+// state — which makes the synchronous read semantics trivial.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+class SharedMemory {
+ public:
+  // All cells start cleared (the model: input cells are set by the program's
+  // init_memory, the rest of memory contains zeroes).
+  explicit SharedMemory(Addr size);
+
+  Word read(Addr a) const;
+  void write(Addr a, Word v);
+
+  Addr size() const { return static_cast<Addr>(cells_.size()); }
+
+  // Whole-memory view; used by the unit-cost-snapshot model of §3 and by
+  // goal predicates / verification (never by ordinary update cycles).
+  std::span<const Word> words() const { return cells_; }
+
+  // Number of committed writes since construction (diagnostics only).
+  std::uint64_t committed_writes() const { return committed_writes_; }
+
+ private:
+  std::vector<Word> cells_;
+  std::uint64_t committed_writes_ = 0;
+};
+
+}  // namespace rfsp

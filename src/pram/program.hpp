@@ -1,0 +1,110 @@
+// Program model: how algorithms are expressed against the engine.
+//
+// A Program describes a P-processor computation. Each processor's behaviour
+// is a ProcessorState — a small state machine whose `cycle` method performs
+// exactly one *update cycle* (§2.1): up to a fixed number of shared reads
+// (default 4), a bounded private computation, and up to a fixed number of
+// buffered shared writes (default 2). Reads inside a cycle may depend on
+// earlier reads of the same cycle (an update cycle is a short instruction
+// sequence, not a single synchronous tick), and they observe the memory as
+// of the start of the slot because all writes commit at slot end.
+//
+// Failure semantics: when the adversary fails a processor its ProcessorState
+// is destroyed (private memory is lost). A restart constructs a fresh state
+// via Program::boot(pid) — the restarted processor knows only its PID, P,
+// and whatever it subsequently reads from shared memory. The synchronous
+// clock (CycleContext::slot) is global knowledge, not private state.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "pram/memory.hpp"
+#include "pram/types.hpp"
+#include "util/fixed_vec.hpp"
+
+namespace rfsp {
+
+// Record of one attempted update cycle; the engine exposes these to the
+// on-line adversary (which "knows everything about the algorithm") through
+// MachineView before deciding failures, i.e. before any write commits.
+struct CycleTrace {
+  bool started = false;        // processor was live and ran `cycle` this slot
+  bool halting = false;        // `cycle` returned false (wants to halt)
+  bool used_snapshot = false;  // consumed the unit-cost whole-memory read
+  FixedVec<Addr, kReadCap> reads;
+  FixedVec<WriteOp, kWriteCap> writes;
+};
+
+// Per-cycle facilities handed to ProcessorState::cycle by the engine.
+class CycleContext {
+ public:
+  CycleContext(const SharedMemory& mem, CycleTrace& trace, Slot slot,
+               std::size_t read_budget, std::size_t write_budget,
+               bool snapshot_allowed);
+
+  // Read one shared cell. Throws ModelViolation past the read budget.
+  Word read(Addr a);
+
+  // Buffer one shared write (committed at slot end iff the cycle completes).
+  // Throws ModelViolation past the write budget.
+  void write(Addr a, Word v);
+
+  // Unit-cost whole-memory read — the strong model of §3 (Theorems 3.1/3.2)
+  // only; throws ModelViolation unless the engine enabled snapshot mode.
+  // Consumes the entire read budget of this cycle.
+  std::span<const Word> snapshot();
+
+  // The global synchronous clock (slot index). See file comment.
+  Slot slot() const { return slot_; }
+
+  std::size_t reads_used() const { return trace_.reads.size(); }
+  std::size_t writes_used() const { return trace_.writes.size(); }
+
+ private:
+  const SharedMemory& mem_;
+  CycleTrace& trace_;
+  Slot slot_;
+  std::size_t read_budget_;
+  std::size_t write_budget_;
+  bool snapshot_allowed_;
+};
+
+// The private side of one processor: its registers and control state.
+class ProcessorState {
+ public:
+  virtual ~ProcessorState() = default;
+
+  // Perform one update cycle. Return false to halt voluntarily (the final
+  // cycle still counts as completed work if the adversary lets it finish).
+  virtual bool cycle(CycleContext& ctx) = 0;
+};
+
+// A complete P-processor program: memory layout, boot states, goal.
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Number of processors P the program runs with.
+  virtual Pid processors() const = 0;
+
+  // Total shared memory the program needs (input + working structures).
+  virtual Addr memory_size() const = 0;
+
+  // Write the non-zero part of the initial configuration (inputs, padding
+  // marks). Called once before the first slot; memory arrives zeroed.
+  virtual void init_memory(SharedMemory& mem) const { (void)mem; }
+
+  // Fresh private state for processor `pid`: used at time 0 and again after
+  // every restart (restarts lose all private context — §2.1 point 3).
+  virtual std::unique_ptr<ProcessorState> boot(Pid pid) const = 0;
+
+  // Cheap success predicate, checked once per slot (typically one cell:
+  // a progress-tree root or a done flag). The engine stops when it holds.
+  virtual bool goal(const SharedMemory& mem) const = 0;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,69 @@
+#include "pram/stable.hpp"
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+namespace {
+
+class ActionSequenceState final : public ProcessorState {
+ public:
+  ActionSequenceState(const ActionSequence& seq, Pid pid)
+      : seq_(seq), pid_(pid) {}
+
+  bool cycle(CycleContext& ctx) override {
+    if (!recovered_) {
+      // Boot/recovery: read the stable instruction counter ([SS 83]) and
+      // resume at the recorded action's start.
+      pc_ = static_cast<std::size_t>(ctx.read(seq_.pc_cell(pid_)));
+      recovered_ = true;
+      if (pc_ >= seq_.actions().size()) return false;  // finished earlier
+      sub_ = seq_.actions()[pc_](pid_);
+      return true;
+    }
+    if (checkpoint_pending_) {
+      // The previous cycle completed action pc_: checkpoint pc_ + 1 as the
+      // last instruction of the action (Remark 6), in a cycle of its own.
+      ctx.write(seq_.pc_cell(pid_), static_cast<Word>(pc_ + 1));
+      checkpoint_pending_ = false;
+      ++pc_;
+      if (pc_ >= seq_.actions().size()) {
+        sub_.reset();
+        done_after_checkpoint_ = true;
+        return true;  // the checkpoint write still needs this cycle
+      }
+      sub_ = seq_.actions()[pc_](pid_);
+      return true;
+    }
+    if (done_after_checkpoint_) return false;
+
+    RFSP_CHECK_MSG(sub_ != nullptr, "action sequence lost its sub-machine");
+    if (!sub_->cycle(ctx)) checkpoint_pending_ = true;
+    return true;
+  }
+
+ private:
+  const ActionSequence& seq_;
+  Pid pid_;
+  bool recovered_ = false;
+  bool checkpoint_pending_ = false;
+  bool done_after_checkpoint_ = false;
+  std::size_t pc_ = 0;
+  std::unique_ptr<ProcessorState> sub_;
+};
+
+}  // namespace
+
+ActionSequence::ActionSequence(std::vector<ActionFactory> actions,
+                               Addr pc_base)
+    : actions_(std::move(actions)), pc_base_(pc_base) {
+  if (actions_.empty()) {
+    throw ConfigError("an action sequence needs at least one action");
+  }
+}
+
+std::unique_ptr<ProcessorState> ActionSequence::boot(Pid pid) const {
+  return std::make_unique<ActionSequenceState>(*this, pid);
+}
+
+}  // namespace rfsp

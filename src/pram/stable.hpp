@@ -1,0 +1,53 @@
+// The action/recovery construct of [SS 83], as used by the paper
+// (Figure 5's `action, recovery ... end` blocks and Remark 6: "can be
+// implemented by appropriately checkpointing the instruction counter in
+// stable storage as the last instruction of an action, and reading the
+// instruction counter upon a restart").
+//
+// An ActionSequence runs a fixed list of actions per processor. Each
+// action is an arbitrary ProcessorState sub-machine; the index of the
+// action in progress is checkpointed in a stable shared cell per
+// processor. A restarted processor's first cycle reads its counter and
+// resumes at the *recorded action's* start — i.e., each action is its own
+// recovery block. Completed actions are never re-entered, no matter the
+// failure pattern; the action in progress restarts from its beginning
+// (actions must therefore be internally idempotent, the same contract as
+// everywhere else in this library).
+//
+// Cost: one extra read on every boot/restart, and one extra cycle per
+// action transition (the checkpoint write happens in a cycle of its own so
+// an action's final cycle keeps its full write budget).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pram/program.hpp"
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+class ActionSequence {
+ public:
+  // Builds the sub-machine executing action `index` for processor `pid`.
+  using ActionFactory =
+      std::function<std::unique_ptr<ProcessorState>(Pid pid)>;
+
+  // `pc_base`: one stable cell per processor at [pc_base, pc_base + P).
+  // Cells start at zero = "action 0 not yet begun".
+  ActionSequence(std::vector<ActionFactory> actions, Addr pc_base);
+
+  std::size_t size() const { return actions_.size(); }
+  Addr pc_cell(Pid pid) const { return pc_base_ + pid; }
+  const std::vector<ActionFactory>& actions() const { return actions_; }
+
+  // The per-processor state machine (use from Program::boot).
+  std::unique_ptr<ProcessorState> boot(Pid pid) const;
+
+ private:
+  std::vector<ActionFactory> actions_;
+  Addr pc_base_;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,53 @@
+// MachineView: everything the on-line adversary is allowed to see — which,
+// per Definition 2.1, is *everything*: the adversary "knows everything about
+// the algorithm and is unknown to the algorithm". The engine presents the
+// view after every live processor has executed its update cycle for the
+// slot but before any write has committed, so the adversary can kill cycles
+// mid-flight (their buffered writes are then lost).
+#pragma once
+
+#include "accounting/tally.hpp"
+#include "pram/memory.hpp"
+#include "pram/program.hpp"
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+class Engine;
+
+class MachineView {
+ public:
+  // Shared memory as of the start of the slot (no write has committed yet).
+  const SharedMemory& memory() const { return mem_; }
+
+  // Index of the current slot.
+  Slot slot() const { return slot_; }
+
+  // Number of processors P of the running program.
+  Pid processors() const { return static_cast<Pid>(traces_.size()); }
+
+  ProcStatus status(Pid pid) const { return status_[pid]; }
+
+  // The cycle the processor attempted this slot (started == false for
+  // failed/halted processors). Includes its buffered, not-yet-committed
+  // writes — the "processor assignment" that lower-bound adversaries use.
+  const CycleTrace& trace(Pid pid) const { return traces_[pid]; }
+
+  const WorkTally& tally() const { return tally_; }
+
+ private:
+  friend class Engine;
+  MachineView(const SharedMemory& mem, Slot slot,
+              std::span<const ProcStatus> status,
+              std::span<const CycleTrace> traces, const WorkTally& tally)
+      : mem_(mem), slot_(slot), status_(status), traces_(traces),
+        tally_(tally) {}
+
+  const SharedMemory& mem_;
+  Slot slot_;
+  std::span<const ProcStatus> status_;
+  std::span<const CycleTrace> traces_;
+  const WorkTally& tally_;
+};
+
+}  // namespace rfsp

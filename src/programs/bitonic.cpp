@@ -1,0 +1,56 @@
+#include <algorithm>
+
+#include "programs/programs.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace rfsp {
+
+BitonicSortProgram::BitonicSortProgram(std::vector<Word> input)
+    : input_(std::move(input)) {
+  RFSP_CHECK_MSG(is_pow2(input_.size()),
+                 "bitonic sort needs a power-of-two key count");
+  for (Word& w : input_) w = sim_word(w);
+  // Batcher's schedule: stages k = 1..log n, passes j = k-1..0.
+  const unsigned logn = floor_log2(input_.size());
+  for (unsigned k = 1; k <= logn; ++k) {
+    for (unsigned j = k; j-- > 0;) {
+      schedule_.push_back({k, j});
+    }
+  }
+}
+
+Pid BitonicSortProgram::processors() const {
+  return static_cast<Pid>(input_.size());
+}
+
+Addr BitonicSortProgram::memory_cells() const { return input_.size(); }
+
+Step BitonicSortProgram::steps() const { return schedule_.size(); }
+
+void BitonicSortProgram::init(std::span<Word> memory) const {
+  std::copy(input_.begin(), input_.end(), memory.begin());
+}
+
+void BitonicSortProgram::step(StepContext& ctx, Pid j, Step t) const {
+  const auto [k, pass] = schedule_[t];
+  const Addr stride = Addr{1} << pass;
+  const Addr partner = static_cast<Addr>(j) ^ stride;
+  if (partner >= input_.size()) return;
+  const Word mine = ctx.load(j);
+  const Word theirs = ctx.load(partner);
+  // Direction of this element's bitonic block at stage k.
+  const bool ascending = ((j >> k) & 1) == 0;
+  const bool keep_low = (j & stride) == 0;
+  const Word kept = (ascending == keep_low) ? std::min(mine, theirs)
+                                            : std::max(mine, theirs);
+  ctx.store(j, kept);
+}
+
+bool BitonicSortProgram::verify(std::span<const Word> memory) const {
+  std::vector<Word> expected = input_;
+  std::sort(expected.begin(), expected.end());
+  return std::equal(expected.begin(), expected.end(), memory.begin());
+}
+
+}  // namespace rfsp

@@ -1,0 +1,31 @@
+#include "programs/chain.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+ChainedProgram::ChainedProgram(const SimProgram& first,
+                               const SimProgram& second)
+    : first_(first), second_(second) {
+  if (first_.processors() != second_.processors() ||
+      first_.memory_cells() != second_.memory_cells()) {
+    throw ConfigError(
+        "chained stages must agree on processors and memory size");
+  }
+}
+
+unsigned ChainedProgram::registers() const {
+  return std::max(first_.registers(), second_.registers());
+}
+
+unsigned ChainedProgram::max_loads() const {
+  return std::max(first_.max_loads(), second_.max_loads());
+}
+
+unsigned ChainedProgram::max_stores() const {
+  return std::max(first_.max_stores(), second_.max_stores());
+}
+
+}  // namespace rfsp

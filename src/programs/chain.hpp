@@ -1,0 +1,45 @@
+// ChainedProgram: run one synchronous PRAM program after another over the
+// same simulated memory — a multi-phase application (e.g. sort, then scan)
+// executed end-to-end on the fault-tolerant machine of Theorem 4.1.
+//
+// Both stages must agree on processor count and memory size; the second
+// stage's step function must be input-independent in *structure* (as all
+// the programs in src/programs are), since it starts from whatever the
+// first stage left in memory. Stage two's registers start wherever stage
+// one left them — stages that use registers should initialize them on
+// their first step (MatMulProgram does).
+#pragma once
+
+#include "sim/sim_program.hpp"
+
+namespace rfsp {
+
+class ChainedProgram final : public SimProgram {
+ public:
+  // Non-owning: both stages must outlive the chain.
+  ChainedProgram(const SimProgram& first, const SimProgram& second);
+
+  std::string_view name() const override { return "chain"; }
+  Pid processors() const override { return first_.processors(); }
+  Addr memory_cells() const override { return first_.memory_cells(); }
+  Step steps() const override { return first_.steps() + second_.steps(); }
+  void init(std::span<Word> memory) const override { first_.init(memory); }
+
+  void step(StepContext& ctx, Pid j, Step t) const override {
+    if (t < first_.steps()) {
+      first_.step(ctx, j, t);
+    } else {
+      second_.step(ctx, j, t - first_.steps());
+    }
+  }
+
+  unsigned registers() const override;
+  unsigned max_loads() const override;
+  unsigned max_stores() const override;
+
+ private:
+  const SimProgram& first_;
+  const SimProgram& second_;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,29 @@
+#include "programs/programs.hpp"
+#include "util/error.hpp"
+
+namespace rfsp {
+
+LeaderElectProgram::LeaderElectProgram(Pid n) : n_(n) {
+  RFSP_CHECK_MSG(n_ >= 1, "leader election needs processors");
+}
+
+void LeaderElectProgram::step(StepContext& ctx, Pid j, Step t) const {
+  if (t == 0) {
+    // Everyone proposes; ARBITRARY picks one winner.
+    ctx.store(0, static_cast<Word>(j) + 1);
+  } else {
+    // Everyone records the elected leader.
+    ctx.store(1 + static_cast<Addr>(j), ctx.load(0));
+  }
+}
+
+bool LeaderElectProgram::verify(std::span<const Word> memory) const {
+  const Word leader = memory[0];
+  if (leader < 1 || leader > static_cast<Word>(n_)) return false;
+  for (Pid j = 0; j < n_; ++j) {
+    if (memory[1 + static_cast<Addr>(j)] != leader) return false;
+  }
+  return true;
+}
+
+}  // namespace rfsp

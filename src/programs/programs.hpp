@@ -1,0 +1,240 @@
+// Classic synchronous PRAM programs, expressed against the SimProgram API,
+// used as workloads for the Theorem 4.1 executor (examples, tests, benches).
+//
+// Each program documents its memory map, step recurrence, and a verifier
+// against an independently computed expected result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/sim_program.hpp"
+
+namespace rfsp {
+
+// Hillis–Steele inclusive prefix sums over n values (in place).
+// Memory: a[0..n). Steps: ⌈log₂n⌉. Step t: a[j] += a[j - 2^t] for j ≥ 2^t.
+class PrefixSumProgram final : public SimProgram {
+ public:
+  explicit PrefixSumProgram(std::vector<Word> input);
+
+  std::string_view name() const override { return "prefix-sum"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override;
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 2; }
+  unsigned max_stores() const override { return 1; }
+
+  // True iff `memory` holds the inclusive prefix sums of the input.
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  std::vector<Word> input_;
+};
+
+// Binary-tree maximum reduction. Memory: a[0..n). Steps: ⌈log₂n⌉.
+// Step t: a[j] = max(a[j], a[j + 2^t]) for j ≡ 0 (mod 2^{t+1}).
+// Result lands in a[0].
+class MaxReduceProgram final : public SimProgram {
+ public:
+  explicit MaxReduceProgram(std::vector<Word> input);
+
+  std::string_view name() const override { return "max-reduce"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override;
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 2; }
+  unsigned max_stores() const override { return 1; }
+
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  std::vector<Word> input_;
+};
+
+// Pointer jumping (list ranking): each node learns its distance to the end
+// of a linked list. Memory: next[0..n) then rank[0..n). Steps: ⌈log₂n⌉+1.
+// Step t: rank[j] += rank[next[j]]; next[j] = next[next[j]] (Wyllie).
+class ListRankingProgram final : public SimProgram {
+ public:
+  // `next[j]` = successor of node j; the tail points to itself.
+  explicit ListRankingProgram(std::vector<Pid> next);
+
+  std::string_view name() const override { return "list-ranking"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override;
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 4; }
+  unsigned max_stores() const override { return 2; }
+
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  std::vector<Pid> next_;
+};
+
+// Odd–even transposition sort over n keys. Memory: a[0..n). Steps: n.
+// Step t: processor j exchanges with its (j+t)-parity neighbour.
+class OddEvenSortProgram final : public SimProgram {
+ public:
+  explicit OddEvenSortProgram(std::vector<Word> input);
+
+  std::string_view name() const override { return "odd-even-sort"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override;
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 2; }
+  unsigned max_stores() const override { return 1; }
+
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  std::vector<Word> input_;
+};
+
+// Connected components by hook-and-jump (Shiloach–Vishkin style), the
+// classic ARBITRARY CRCW PRAM algorithm: even steps, one processor per
+// edge hooks a root endpoint onto its neighbour's smaller-labelled parent
+// (concurrent hooks of one root are resolved arbitrarily); odd steps, one
+// processor per vertex pointer-jumps its parent. Labels only decrease, so
+// the per-component minimum is the fixed point. Rounds are sized for
+// guaranteed convergence of this simple variant (2·n steps).
+// Memory: parent[0..n) then edges as (u, v) pairs [n, n + 2m).
+class ConnectedComponentsProgram final : public SimProgram {
+ public:
+  ConnectedComponentsProgram(Pid vertices,
+                             std::vector<std::pair<Pid, Pid>> edges);
+
+  std::string_view name() const override { return "connected-components"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override;
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 5; }
+  unsigned max_stores() const override { return 1; }
+  CrcwModel discipline() const override { return CrcwModel::kArbitrary; }
+
+  // parent[v] must equal the minimum vertex label of v's component.
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  Pid n_;
+  std::vector<std::pair<Pid, Pid>> edges_;
+};
+
+// An ARBITRARY CRCW demonstration (the discipline Theorem 4.1 simulates on
+// machines "of the same type"): every processor proposes itself as leader
+// by writing its id+1 into one cell — ARBITRARY resolution picks exactly
+// one — then everyone copies the elected leader into its own slot.
+// Memory: [0] = leader cell, [1..n+1) = per-processor observations.
+class LeaderElectProgram final : public SimProgram {
+ public:
+  explicit LeaderElectProgram(Pid n);
+
+  std::string_view name() const override { return "leader-elect"; }
+  Pid processors() const override { return n_; }
+  Addr memory_cells() const override { return 1 + static_cast<Addr>(n_); }
+  Step steps() const override { return 2; }
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 1; }
+  unsigned max_stores() const override { return 1; }
+  CrcwModel discipline() const override { return CrcwModel::kArbitrary; }
+
+  // A single leader in [1, n] was elected and everyone agrees on it.
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  Pid n_;
+};
+
+// Batcher's bitonic sort over n = 2^k keys: Θ(log²n) steps, each a global
+// compare-exchange pass (each processor rewrites only its own cell).
+// Memory: a[0..n).
+class BitonicSortProgram final : public SimProgram {
+ public:
+  explicit BitonicSortProgram(std::vector<Word> input);  // |input| = 2^k
+
+  std::string_view name() const override { return "bitonic-sort"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override;
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 2; }
+  unsigned max_stores() const override { return 1; }
+
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  std::vector<Word> input_;
+  std::vector<std::pair<unsigned, unsigned>> schedule_;  // (stage, pass)
+};
+
+// Integer heat diffusion (Jacobi relaxation) on a 1-D rod with fixed
+// boundary cells: x'[i] = ⌊(x[i-1] + 2·x[i] + x[i+1]) / 4⌋ for interior i,
+// for a caller-chosen number of rounds. Memory: x[0..n). EREW-friendly
+// writes (each processor owns its cell); verified against a direct
+// double-buffered evaluation.
+class StencilProgram final : public SimProgram {
+ public:
+  StencilProgram(std::vector<Word> initial, Step rounds);
+
+  std::string_view name() const override { return "stencil"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override { return rounds_; }
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 0; }
+  unsigned max_loads() const override { return 3; }
+  unsigned max_stores() const override { return 1; }
+
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  std::vector<Word> initial_;
+  Step rounds_;
+};
+
+// Dense matrix multiply C = A·B over m×m matrices with m² simulated
+// processors, one inner-product term per step (the accumulator is a
+// simulated register). Memory: A row-major, then B, then C. Steps: m.
+class MatMulProgram final : public SimProgram {
+ public:
+  MatMulProgram(std::vector<Word> a, std::vector<Word> b, Pid m);
+
+  std::string_view name() const override { return "matmul"; }
+  Pid processors() const override;
+  Addr memory_cells() const override;
+  Step steps() const override;
+  void init(std::span<Word> memory) const override;
+  void step(StepContext& ctx, Pid j, Step t) const override;
+  unsigned registers() const override { return 1; }
+  unsigned max_loads() const override { return 2; }
+  unsigned max_stores() const override { return 1; }
+
+  bool verify(std::span<const Word> memory) const;
+
+ private:
+  std::vector<Word> a_, b_;
+  Pid m_;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,41 @@
+#include <algorithm>
+
+#include "programs/programs.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace rfsp {
+
+MaxReduceProgram::MaxReduceProgram(std::vector<Word> input)
+    : input_(std::move(input)) {
+  RFSP_CHECK_MSG(!input_.empty(), "reduction needs at least one value");
+  for (Word& w : input_) w = sim_word(w);
+}
+
+Pid MaxReduceProgram::processors() const {
+  return static_cast<Pid>(input_.size());
+}
+
+Addr MaxReduceProgram::memory_cells() const { return input_.size(); }
+
+Step MaxReduceProgram::steps() const { return ceil_log2(input_.size()); }
+
+void MaxReduceProgram::init(std::span<Word> memory) const {
+  std::copy(input_.begin(), input_.end(), memory.begin());
+}
+
+void MaxReduceProgram::step(StepContext& ctx, Pid j, Step t) const {
+  const Addr lo = Addr{1} << t;
+  const Addr span = lo * 2;
+  if (j % span != 0) return;
+  if (j + lo >= input_.size()) return;  // partner beyond the array
+  const Word a = ctx.load(j);
+  const Word b = ctx.load(j + lo);
+  ctx.store(j, std::max(a, b));
+}
+
+bool MaxReduceProgram::verify(std::span<const Word> memory) const {
+  return memory[0] == *std::max_element(input_.begin(), input_.end());
+}
+
+}  // namespace rfsp

@@ -1,0 +1,49 @@
+#include <algorithm>
+
+#include "programs/programs.hpp"
+#include "util/error.hpp"
+
+namespace rfsp {
+
+OddEvenSortProgram::OddEvenSortProgram(std::vector<Word> input)
+    : input_(std::move(input)) {
+  RFSP_CHECK_MSG(!input_.empty(), "sorting needs at least one key");
+  for (Word& w : input_) w = sim_word(w);
+}
+
+Pid OddEvenSortProgram::processors() const {
+  return static_cast<Pid>(input_.size());
+}
+
+Addr OddEvenSortProgram::memory_cells() const { return input_.size(); }
+
+Step OddEvenSortProgram::steps() const { return input_.size(); }
+
+void OddEvenSortProgram::init(std::span<Word> memory) const {
+  std::copy(input_.begin(), input_.end(), memory.begin());
+}
+
+void OddEvenSortProgram::step(StepContext& ctx, Pid j, Step t) const {
+  // In phase t, pairs (2k + t%2, 2k + t%2 + 1) compare-exchange. Each
+  // processor rewrites only its own cell (CREW-friendly).
+  const bool left_of_pair = (j % 2) == (t % 2);
+  if (left_of_pair) {
+    if (j + 1 >= input_.size()) return;
+    const Word mine = ctx.load(j);
+    const Word right = ctx.load(j + 1);
+    ctx.store(j, std::min(mine, right));
+  } else {
+    if (j == 0) return;
+    const Word mine = ctx.load(j);
+    const Word left = ctx.load(j - 1);
+    ctx.store(j, std::max(mine, left));
+  }
+}
+
+bool OddEvenSortProgram::verify(std::span<const Word> memory) const {
+  std::vector<Word> expected = input_;
+  std::sort(expected.begin(), expected.end());
+  return std::equal(expected.begin(), expected.end(), memory.begin());
+}
+
+}  // namespace rfsp

@@ -1,0 +1,42 @@
+// Static (pre-execution) verification of a simulated program's memory
+// discipline, per the PRAM variants of Theorem 4.1: "EREW, CREW, and WEAK
+// and COMMON CRCW PRAM algorithms are simulated on fail-stop COMMON CRCW
+// PRAMs; ARBITRARY ... on fail-stop CRCW PRAMs of the same type."
+//
+// The checker executes the program fault-free while recording every
+// simulated processor's per-step load/store sets and validates them
+// against the requested discipline:
+//   kErew    — no two processors touch one cell in a step (read or write);
+//   kCrew    — concurrent reads allowed, concurrent writes not;
+//   kCommon  — concurrent writes must carry equal values;
+//   kWeak    — concurrent writes only of the designated value (Theorem 4.1
+//              lists WEAK among the simulable variants; Write-All itself
+//              is the canonical WEAK program);
+//   kArbitrary / kPriority — any concurrent writes allowed.
+// Registers are private by construction and are not checked.
+//
+// A program that passes for discipline D executes correctly under
+// simulate() configured for D (COMMON-compatible disciplines on the
+// default engine; ARBITRARY via SimOptions::discipline).
+#pragma once
+
+#include <string>
+
+#include "pram/types.hpp"
+#include "sim/sim_program.hpp"
+
+namespace rfsp {
+
+struct DisciplineReport {
+  bool ok = true;
+  // First violation found (empty when ok).
+  std::string violation;
+  Step step = 0;
+  Addr cell = 0;
+};
+
+DisciplineReport check_discipline(const SimProgram& program,
+                                  CrcwModel discipline,
+                                  Word weak_value = 1);
+
+}  // namespace rfsp

@@ -1,0 +1,482 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "util/error.hpp"
+#include "writeall/algv.hpp"
+#include "writeall/algx.hpp"
+#include "writeall/layout.hpp"
+
+namespace rfsp {
+
+namespace {
+
+// Thrown by the replay context at the first load whose value is not yet in
+// the fetch cache; the executor then spends one update cycle fetching it.
+struct NeedFetch {
+  Addr addr;
+};
+
+// StepContext that serves loads from a fetch cache (plus the step's own
+// stores) and records stores into an overlay. Deterministic given the
+// cache, so re-running it every micro-cycle is safe.
+class ReplayContext final : public StepContext {
+ public:
+  ReplayContext(const SimLayout& layout, Pid j,
+                std::span<const Word> pairs, std::size_t fetched)
+      : layout_(layout), j_(j), pairs_(pairs), fetched_(fetched) {}
+
+  Word load(Addr a) override {
+    RFSP_CHECK_MSG(a < layout_.data_cells, "simulated load out of bounds");
+    return fetch(layout_.data + a);
+  }
+
+  void store(Addr a, Word v) override {
+    RFSP_CHECK_MSG(a < layout_.data_cells, "simulated store out of bounds");
+    overlay_[layout_.data + a] = sim_word(v);
+  }
+
+  Word reg(unsigned r) override {
+    RFSP_CHECK_MSG(r < layout_.reg_count, "register index out of range");
+    return fetch(layout_.reg_cell(j_, r));
+  }
+
+  void set_reg(unsigned r, Word v) override {
+    RFSP_CHECK_MSG(r < layout_.reg_count, "register index out of range");
+    overlay_[layout_.reg_cell(j_, r)] = sim_word(v);
+  }
+
+  // Final (deduplicated, address-ordered) writes of the completed step.
+  const std::map<Addr, Word>& writes() const { return overlay_; }
+
+ private:
+  Word fetch(Addr abs) {
+    // Read-your-own-writes within the step.
+    if (const auto it = overlay_.find(abs); it != overlay_.end()) {
+      return it->second;
+    }
+    for (std::size_t i = 0; i < fetched_; ++i) {
+      if (static_cast<Addr>(pairs_[2 * i]) == abs) return pairs_[2 * i + 1];
+    }
+    throw NeedFetch{abs};
+  }
+
+  const SimLayout& layout_;
+  Pid j_;
+  std::span<const Word> pairs_;
+  std::size_t fetched_;
+  std::map<Addr, Word> overlay_;
+};
+
+// Pass-A task: compute simulated processor j's step t into scratch log j.
+class ComputeTask final : public TaskSpec {
+ public:
+  ComputeTask(const SimProgram& program, const SimLayout& layout, Step t,
+              Word stamp)
+      : program_(program), layout_(layout), t_(t), stamp_(stamp),
+        fetch_cap_(program.max_loads() + layout.reg_count) {}
+
+  unsigned cycles_per_task() const override {
+    return layout_.compute_cycles;
+  }
+
+  std::size_t scratch_words() const override {
+    return 2 + 2 * static_cast<std::size_t>(fetch_cap_);
+  }
+
+  void run(CycleContext& ctx, Addr task, unsigned /*k*/,
+           std::span<Word> scratch) const override {
+    Word& fetched = scratch[0];
+    Word& emitted = scratch[1];
+    const std::span<Word> pairs = scratch.subspan(2);
+    const Pid j = static_cast<Pid>(task);
+
+    ReplayContext replay(layout_, j, pairs,
+                         static_cast<std::size_t>(fetched));
+    try {
+      program_.step(replay, j, t_);
+    } catch (const NeedFetch& miss) {
+      if (fetched >= static_cast<Word>(fetch_cap_)) {
+        throw ConfigError("SimProgram::step exceeds its declared load "
+                          "budget (max_loads + registers)");
+      }
+      pairs[2 * fetched] = static_cast<Word>(miss.addr);
+      pairs[2 * fetched + 1] = ctx.read(miss.addr);
+      ++fetched;
+      return;
+    }
+
+    const auto& writes = replay.writes();
+    if (writes.size() > layout_.max_writes) {
+      throw ConfigError("SimProgram::step exceeds its declared store "
+                        "budget (max_stores + registers)");
+    }
+    const Word count = static_cast<Word>(writes.size());
+    if (emitted < count) {
+      // Emit write pair #emitted (address order — std::map iteration).
+      auto it = writes.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(emitted));
+      const Addr base = layout_.scratch_base(j);
+      ctx.write(base + 1 + 2 * static_cast<Addr>(emitted),
+                stamped(stamp_, static_cast<Word>(it->first)));
+      ctx.write(base + 2 + 2 * static_cast<Addr>(emitted),
+                stamped(stamp_, it->second));
+      ++emitted;
+    } else if (emitted == count) {
+      // All pairs are in place: publish the log length (the commit pass
+      // treats a missing/stale count as an empty log, so the count is
+      // written last).
+      ctx.write(layout_.scratch_base(j), stamped(stamp_, count));
+      ++emitted;
+    }
+    // Later micro-cycles of this task are no-ops (fixed-length schedule).
+  }
+
+ private:
+  const SimProgram& program_;
+  const SimLayout& layout_;
+  Step t_;
+  Word stamp_;
+  unsigned fetch_cap_;
+};
+
+// Pass-B task: apply scratch log j to the simulated memory.
+//
+// COMMON-compatible disciplines: plainly idempotent — every re-execution
+// writes the same values, and concurrent writers agree by assumption.
+//
+// ARBITRARY: concurrent writers may disagree, so the first commit to a
+// cell within the step wins, recorded in a per-cell once-marker (stamped
+// with this pass's epoch). Rival writers and re-executions observe the
+// marker and skip; the engine's ARBITRARY rule breaks the one genuine race
+// (two unmarked commits in the same slot) and both racers then write the
+// same marker value, keeping the outcome stable ever after.
+class CommitTask final : public TaskSpec {
+ public:
+  CommitTask(const SimLayout& layout, Word log_stamp, Word wa_stamp)
+      : layout_(layout), log_stamp_(log_stamp), wa_stamp_(wa_stamp) {}
+
+  unsigned cycles_per_task() const override { return layout_.commit_cycles; }
+
+  std::size_t scratch_words() const override { return 1; }
+
+  void run(CycleContext& ctx, Addr task, unsigned k,
+           std::span<Word> scratch) const override {
+    const Addr base = layout_.scratch_base(task);
+    if (k == 0) {
+      scratch[0] =
+          1 + payload_of(ctx.read(base), log_stamp_);  // count + 1 marker
+      return;
+    }
+    if (scratch[0] == 0) return;  // restarted mid-task: wrapper restarts at 0
+    const Word count = scratch[0] - 1;
+    const Word idx = static_cast<Word>(k) - 1;
+    if (idx >= count) return;  // padding micro-cycles
+    const Addr addr = static_cast<Addr>(
+        payload_of(ctx.read(base + 1 + 2 * static_cast<Addr>(idx)),
+                   log_stamp_));
+    const Word value =
+        payload_of(ctx.read(base + 2 + 2 * static_cast<Addr>(idx)),
+                   log_stamp_);
+    RFSP_CHECK_MSG(addr < layout_.scratch,
+                   "scratch log addresses must stay in data/register space");
+    if (layout_.commit_marker_cells != 0) {
+      const Addr marker = layout_.commit_markers + addr;
+      if (payload_of(ctx.read(marker), wa_stamp_) != 0) return;  // lost
+      ctx.write(marker, stamped(wa_stamp_, 1));
+    }
+    ctx.write(addr, value);
+  }
+
+ private:
+  const SimLayout& layout_;
+  Word log_stamp_;
+  Word wa_stamp_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimLayout
+
+SimLayout::SimLayout(const SimProgram& program, Pid physical)
+    : n(program.processors()),
+      p(physical == 0 ? program.processors() : physical),
+      data_cells(program.memory_cells()),
+      reg_count(program.registers()),
+      max_writes(program.max_stores() + program.registers()),
+      compute_cycles(program.max_loads() + program.registers() +
+                     program.max_stores() + program.registers() + 1),
+      commit_cycles(1 + program.max_stores() + program.registers()),
+      wa_compute(/*x_base=*/0, /*aux_base=*/0, 1, 1, 0),  // re-set below
+      wa_commit(0, 0, 1, 1, 0) {
+  if (n < 1) throw ConfigError("SimProgram needs at least one processor");
+  if (p < 1 || p > n) {
+    throw ConfigError("simulation requires 1 <= P <= N physical processors");
+  }
+  if (data_cells < 1) throw ConfigError("SimProgram needs memory");
+  if (program.discipline() == CrcwModel::kPriority) {
+    throw ConfigError(
+        "PRIORITY CRCW programs cannot be directly simulated (Remark 4)");
+  }
+  data = 0;
+  regs = data + data_cells;
+  scratch = regs + static_cast<Addr>(n) * reg_count;
+  scratch_stride = 1 + 2 * static_cast<Addr>(max_writes);
+  phase = scratch + static_cast<Addr>(n) * scratch_stride;
+  commit_markers = phase + 1;
+  commit_marker_cells = program.discipline() == CrcwModel::kArbitrary
+                            ? regs + static_cast<Addr>(n) * reg_count
+                            : 0;
+  const Addr markers = commit_markers + commit_marker_cells;
+  const Addr aux = markers + n;
+  wa_compute = CombinedLayout(markers, aux, n, p, compute_cycles);
+  wa_commit = CombinedLayout(markers, aux, n, p, commit_cycles);
+  RFSP_CHECK(wa_compute.aux_end() == wa_commit.aux_end());
+  total = wa_compute.aux_end();
+}
+
+// ---------------------------------------------------------------------------
+// The outer program: one state per physical processor that tracks the phase
+// word and drives the current pass's embedded Write-All instance.
+
+namespace {
+
+class SimulationProgram final : public Program {
+ public:
+  SimulationProgram(const SimProgram& sim, const SimLayout& layout,
+                    SimInner inner)
+      : sim_(sim), layout_(layout), inner_(inner),
+        final_pass_(2 * sim.steps()) {}
+
+  std::string_view name() const override { return "simulation"; }
+  Pid processors() const override { return layout_.p; }
+  Addr memory_size() const override { return layout_.total; }
+
+  void init_memory(SharedMemory& mem) const override {
+    std::vector<Word> input(layout_.data_cells, Word{0});
+    sim_.init(input);
+    for (Addr i = 0; i < layout_.data_cells; ++i) {
+      if (input[i] != 0) mem.write(layout_.data + i, sim_word(input[i]));
+    }
+  }
+
+  std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+
+  bool goal(const SharedMemory& mem) const override {
+    return phase_pass(mem.read(layout_.phase)) >= final_pass_;
+  }
+
+  const SimProgram& sim() const { return sim_; }
+  const SimLayout& layout() const { return layout_; }
+  SimInner inner() const { return inner_; }
+  std::uint64_t final_pass() const { return final_pass_; }
+
+ private:
+  const SimProgram& sim_;
+  const SimLayout& layout_;
+  SimInner inner_;
+  std::uint64_t final_pass_;
+};
+
+class SimProcState final : public ProcessorState {
+ public:
+  SimProcState(const SimulationProgram& outer, Pid pid)
+      : outer_(outer), pid_(pid) {}
+
+  bool cycle(CycleContext& ctx) override {
+    const SimLayout& layout = outer_.layout();
+    const Word ph = ctx.read(layout.phase);
+    const std::uint64_t pass = phase_pass(ph);
+    if (pass >= outer_.final_pass()) return false;  // simulation finished
+
+    if (advance_from_ && pass == *advance_from_) {
+      // Our pass's Write-All instance reported completion last cycle:
+      // advance the phase now, in a cycle of its own (the inner's final
+      // cycle may already carry two writes — e.g. V's root count plus the
+      // done flag — and the budget is 2). Stragglers observing completion
+      // in later slots read the advanced word first and never write, so
+      // all phase writes of one slot carry identical values (COMMON-safe).
+      ctx.write(layout.phase, phase_encode(pass + 1, ctx.slot() + 1));
+      advance_from_.reset();
+      return true;
+    }
+    advance_from_.reset();  // someone else advanced it first
+
+    if (!inner_ || pass != pass_) build(pass, phase_start(ph));
+    if (!inner_->cycle(ctx)) {
+      inner_.reset();
+      advance_from_ = pass;
+    }
+    return true;
+  }
+
+ private:
+  void build(std::uint64_t pass, Slot start) {
+    const SimLayout& layout = outer_.layout();
+    const Step t = pass / 2;
+    const bool compute = (pass % 2) == 0;
+    const Word stamp = static_cast<Word>(pass) + 1;
+    if (compute) {
+      task_ = std::make_unique<ComputeTask>(outer_.sim(), layout, t, stamp);
+    } else {
+      task_ = std::make_unique<CommitTask>(layout, stamp - 1, stamp);
+    }
+    const CombinedLayout& wa =
+        compute ? layout.wa_compute : layout.wa_commit;
+    WriteAllConfig config;
+    config.n = layout.n;
+    config.p = layout.p;
+    config.stamp = stamp;
+    config.task = task_.get();
+    switch (outer_.inner()) {
+      case SimInner::kCombinedVX:
+        inner_ = std::make_unique<CombinedState>(config, wa, pid_, start);
+        break;
+      case SimInner::kX:
+        inner_ = std::make_unique<AlgXState>(config, wa.x, pid_, wa.done);
+        break;
+      case SimInner::kV:
+        inner_ = std::make_unique<AlgVState>(config, wa.v, pid_, wa.done,
+                                             start, /*clock_stride=*/1);
+        break;
+    }
+    pass_ = pass;
+  }
+
+  const SimulationProgram& outer_;
+  Pid pid_;
+  std::uint64_t pass_ = ~std::uint64_t{0};
+  std::optional<std::uint64_t> advance_from_;
+  std::unique_ptr<TaskSpec> task_;
+  std::unique_ptr<ProcessorState> inner_;
+};
+
+std::unique_ptr<ProcessorState> SimulationProgram::boot(Pid pid) const {
+  return std::make_unique<SimProcState>(*this, pid);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// simulate / reference_run
+
+SimResult simulate(const SimProgram& program, Adversary& adversary,
+                   SimOptions options) {
+  const SimLayout layout(program, options.physical_processors);
+  const SimulationProgram outer(program, layout, options.inner);
+
+  EngineOptions eopt;
+  // The simulation machine's update cycle: the embedded Write-All cycle
+  // (<= 4 reads) plus the phase-word read. Fixed per machine (§2.1).
+  eopt.read_budget = 5;
+  eopt.write_budget = 2;
+  eopt.max_slots = options.max_slots;
+  eopt.record_pattern = options.record_pattern;
+  // ARBITRARY programs run on a fail-stop machine "of the same type"
+  // (Theorem 4.1): the engine breaks same-slot commit races arbitrarily
+  // and the commit markers make the outcome stable thereafter.
+  if (program.discipline() == CrcwModel::kArbitrary) {
+    eopt.model = CrcwModel::kArbitrary;
+  }
+
+  Engine engine(outer, eopt);
+  RunResult run = engine.run(adversary);
+
+  SimResult result;
+  result.tally = run.tally;
+  result.completed = run.goal_met;
+  result.pattern = std::move(run.pattern);
+  result.passes = phase_pass(engine.memory().read(layout.phase));
+  result.memory.reserve(layout.data_cells);
+  for (Addr i = 0; i < layout.data_cells; ++i) {
+    result.memory.push_back(engine.memory().read(layout.data + i));
+  }
+  return result;
+}
+
+namespace {
+
+// Plain synchronous execution used as ground truth by tests/benches.
+class DirectContext final : public StepContext {
+ public:
+  DirectContext(const SimProgram& program, std::span<const Word> memory,
+                std::span<const Word> regs, Pid j)
+      : program_(program), memory_(memory), regs_(regs), j_(j) {}
+
+  Word load(Addr a) override {
+    RFSP_CHECK(a < memory_.size());
+    if (const auto it = writes_.find(a); it != writes_.end()) {
+      return it->second;
+    }
+    return memory_[a];
+  }
+  void store(Addr a, Word v) override {
+    RFSP_CHECK(a < memory_.size());
+    writes_[a] = sim_word(v);
+  }
+  Word reg(unsigned r) override {
+    RFSP_CHECK(r < program_.registers());
+    if (const auto it = reg_writes_.find(r); it != reg_writes_.end()) {
+      return it->second;
+    }
+    return regs_[j_ * program_.registers() + r];
+  }
+  void set_reg(unsigned r, Word v) override {
+    RFSP_CHECK(r < program_.registers());
+    reg_writes_[r] = sim_word(v);
+  }
+
+  const std::map<Addr, Word>& writes() const { return writes_; }
+  const std::map<unsigned, Word>& reg_writes() const { return reg_writes_; }
+
+ private:
+  const SimProgram& program_;
+  std::span<const Word> memory_;
+  std::span<const Word> regs_;
+  Pid j_;
+  std::map<Addr, Word> writes_;
+  std::map<unsigned, Word> reg_writes_;
+};
+
+}  // namespace
+
+std::vector<Word> reference_run(const SimProgram& program) {
+  const Pid n = program.processors();
+  std::vector<Word> memory(program.memory_cells(), Word{0});
+  std::vector<Word> regs(static_cast<std::size_t>(n) * program.registers(),
+                         Word{0});
+  program.init(memory);
+  for (auto& w : memory) w = sim_word(w);
+
+  for (Step t = 0; t < program.steps(); ++t) {
+    std::map<Addr, Word> pending;
+    std::vector<std::pair<std::size_t, Word>> pending_regs;
+    for (Pid j = 0; j < n; ++j) {
+      DirectContext ctx(program, memory, regs, j);
+      program.step(ctx, j, t);
+      for (const auto& [addr, value] : ctx.writes()) {
+        if (program.discipline() == CrcwModel::kCommon) {
+          const auto it = pending.find(addr);
+          RFSP_CHECK_MSG(it == pending.end() || it->second == value,
+                         "simulated program violates COMMON CRCW");
+        }
+        // ARBITRARY reference semantics: last writer in PID order wins
+        // (one legal arbitrary choice; the fault-tolerant executor may
+        // legitimately pick a different one).
+        pending[addr] = value;
+      }
+      for (const auto& [r, value] : ctx.reg_writes()) {
+        pending_regs.emplace_back(
+            static_cast<std::size_t>(j) * program.registers() + r, value);
+      }
+    }
+    for (const auto& [addr, value] : pending) memory[addr] = value;
+    for (const auto& [idx, value] : pending_regs) regs[idx] = value;
+  }
+  return memory;
+}
+
+}  // namespace rfsp

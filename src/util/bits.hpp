@@ -1,0 +1,39 @@
+// Small bit-manipulation helpers used throughout the progress-tree code.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace rfsp {
+
+// True iff v is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Smallest power of two >= v (v >= 1). ceil_pow2(1) == 1.
+constexpr std::uint64_t ceil_pow2(std::uint64_t v) {
+  return std::bit_ceil(v == 0 ? std::uint64_t{1} : v);
+}
+
+// floor(log2(v)) for v >= 1.
+constexpr unsigned floor_log2(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+// ceil(log2(v)) for v >= 1. ceil_log2(1) == 0.
+constexpr unsigned ceil_log2(std::uint64_t v) {
+  return v <= 1 ? 0u : floor_log2(v - 1) + 1u;
+}
+
+// ceil(a / b) for b >= 1.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Bit `i` (0 = most significant of a `width`-bit word) of `v`, as used by
+// algorithm X: "PID[log(where)]" selects descent direction at tree depth
+// log(where) from the most significant end of the log(N)-bit PID.
+constexpr bool msb_bit(std::uint64_t v, unsigned i, unsigned width) {
+  return ((v >> (width - 1u - i)) & 1u) != 0;
+}
+
+}  // namespace rfsp

@@ -1,0 +1,61 @@
+// Error taxonomy for the rfsp library.
+//
+// The library distinguishes three failure classes:
+//  * ConfigError      — the caller asked for an impossible configuration
+//                       (e.g. P > N where an algorithm requires P <= N).
+//  * ModelViolation   — an algorithm broke the PRAM model of Kanellakis &
+//                       Shvartsman §2.1 (too many reads/writes in an update
+//                       cycle, a COMMON CRCW write conflict with unequal
+//                       values, a snapshot read outside snapshot mode, ...).
+//  * AdversaryViolation — an adversary broke the failure model of §2.1
+//                       (constraint 2(i): at every slot at least one live
+//                       processor's update cycle must complete; failing a
+//                       processor that is not live; restarting one that is
+//                       not failed).
+//
+// All three derive from std::logic_error: they indicate bugs or contract
+// violations in calling code, never data-dependent runtime conditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rfsp {
+
+class ConfigError : public std::logic_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::logic_error(what) {}
+};
+
+class ModelViolation : public std::logic_error {
+ public:
+  explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+class AdversaryViolation : public std::logic_error {
+ public:
+  explicit AdversaryViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind,
+                                             const char* expr,
+                                             const std::string& msg) {
+  throw std::logic_error(std::string(kind) + " check failed: " + expr +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace rfsp
+
+// Internal invariant check; always on (simulation fidelity beats speed here).
+#define RFSP_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::rfsp::detail::throw_check_failure("invariant", #expr, ""); \
+  } while (false)
+
+#define RFSP_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) ::rfsp::detail::throw_check_failure("invariant", #expr, (msg)); \
+  } while (false)

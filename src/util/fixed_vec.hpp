@@ -1,0 +1,55 @@
+// FixedVec: a tiny inline vector with a compile-time capacity.
+//
+// Update cycles touch at most a handful of shared cells (<= 4 reads,
+// <= 2 writes in the paper's model; we allow slightly larger configured
+// budgets), so read/write sets never allocate. Exceeding capacity throws —
+// the engine relies on this to detect model violations cheaply.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+template <typename T, std::size_t Cap>
+class FixedVec {
+ public:
+  FixedVec() = default;
+  FixedVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    RFSP_CHECK_MSG(size_ < Cap, "FixedVec capacity exceeded");
+    items_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr std::size_t capacity() { return Cap; }
+
+  T& operator[](std::size_t i) {
+    RFSP_CHECK(i < size_);
+    return items_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    RFSP_CHECK(i < size_);
+    return items_[i];
+  }
+
+  T* begin() { return items_.data(); }
+  T* end() { return items_.data() + size_; }
+  const T* begin() const { return items_.data(); }
+  const T* end() const { return items_.data() + size_; }
+
+ private:
+  std::array<T, Cap> items_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this library must be reproducible: a (seed, parameters) pair
+// fully determines a run, including the randomized ACC algorithm and the
+// stochastic adversaries. We use SplitMix64 for seeding/stateless hashing and
+// xoshiro256** for streams. Restarted processors must reseed from data they
+// still have (PID and the synchronous clock), which `mix64` supports.
+#pragma once
+
+#include <cstdint>
+
+namespace rfsp {
+
+// One step of SplitMix64; also a good 64-bit mixer/hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// Stateless mix of up to three words into one pseudo-random word.
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ull,
+                    std::uint64_t c = 0xbf58476d1ce4e5b9ull);
+
+// xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound) for bound >= 1 (unbiased via rejection).
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Bernoulli(p).
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rfsp

@@ -1,0 +1,57 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+Summary summarize(std::span<const double> values) {
+  RFSP_CHECK_MSG(!values.empty(), "summarize needs at least one value");
+  Summary s;
+  s.count = values.size();
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() >= 2) {
+    double ss = 0;
+    for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  RFSP_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                 "fit needs >= 2 paired points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  RFSP_CHECK_MSG(denom != 0, "fit needs distinct x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  return fit;
+}
+
+double fit_exponent(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    RFSP_CHECK_MSG(x[i] > 0 && y[i] > 0, "exponent fit needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_line(lx, ly).slope;
+}
+
+}  // namespace rfsp

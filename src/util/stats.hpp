@@ -1,0 +1,34 @@
+// Small statistics helpers for the experiment harnesses: summary stats
+// over repeated seeded runs and least-squares fits for growth exponents.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rfsp {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1); 0 for n < 2
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> values);
+
+// Least-squares fit y = a + b·x; returns (a, b). Requires >= 2 points with
+// distinct x.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+};
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+// Growth exponent of y vs x (slope of log y over log x): the tool used to
+// compare measured work against the paper's N^c claims. Requires positive
+// inputs.
+double fit_exponent(std::span<const double> x, std::span<const double> y);
+
+}  // namespace rfsp

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RFSP_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RFSP_CHECK_MSG(cells.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+          << row[c];
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_int(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string grouped;
+  grouped.reserve(raw.size() + raw.size() / 3);
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) grouped.push_back(',');
+    grouped.push_back(*it);
+    ++count;
+  }
+  std::reverse(grouped.begin(), grouped.end());
+  return grouped;
+}
+
+}  // namespace rfsp

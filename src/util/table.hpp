@@ -1,0 +1,35 @@
+// Console table writer used by the bench harnesses to print the
+// rows/series of each reproduced experiment in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfsp {
+
+// Accumulates rows of string cells and prints them column-aligned, with a
+// header rule. Numeric formatting is the caller's business (see `fmt_*`).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders the table (header, rule, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-point with `digits` decimals, e.g. fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double v, int digits);
+
+// Engineering-friendly integer with thousands grouping: 1234567 -> "1,234,567".
+std::string fmt_int(std::uint64_t v);
+
+}  // namespace rfsp

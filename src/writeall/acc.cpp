@@ -1,0 +1,18 @@
+#include "writeall/acc.hpp"
+
+namespace rfsp {
+
+AccWriteAll::AccWriteAll(WriteAllConfig config)
+    : WriteAllProgram(config),
+      layout_(config_.base, config_.base + config_.n, config_.n, config_.p) {}
+
+std::unique_ptr<ProcessorState> AccWriteAll::boot(Pid pid) const {
+  return std::make_unique<AlgXState>(config_, layout_, pid, std::nullopt,
+                                     AlgXState::Descent::kCoupon);
+}
+
+bool AccWriteAll::goal(const SharedMemory& mem) const {
+  return payload_of(mem.read(layout_.d(1)), config_.stamp) != 0;
+}
+
+}  // namespace rfsp

@@ -1,0 +1,35 @@
+// A randomized progress-tree algorithm standing in for the "asynchronous
+// coupon clipping" (ACC) algorithm of [MSP 90], used by §5's discussion of
+// randomization against on-line adversaries.
+//
+// Substitution note (see DESIGN.md §2): we do not have [MSP 90]; this
+// stand-in shares algorithm X's shared structures (a binary progress tree
+// over the array) but resolves contested descents with private coin flips
+// instead of PID bits. That is the property §5's *stalking adversary*
+// exploits: it camps on one leaf of "a binary tree employed by ACC" and
+// fails processors that touch it — under an on-line adversary the expected
+// completed work blows up, while off-line (pre-scripted) patterns leave the
+// algorithm efficient, reproducing the separation the paper reports.
+#pragma once
+
+#include "writeall/algx.hpp"
+
+namespace rfsp {
+
+class AccWriteAll final : public WriteAllProgram {
+ public:
+  explicit AccWriteAll(WriteAllConfig config);
+
+  std::string_view name() const override { return "ACC"; }
+  Addr memory_size() const override { return layout_.aux_end(); }
+  std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  bool goal(const SharedMemory& mem) const override;
+  Addr x_base() const override { return layout_.x_base; }
+
+  const XLayout& layout() const { return layout_; }
+
+ private:
+  XLayout layout_;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,38 @@
+#include "writeall/combined.hpp"
+
+namespace rfsp {
+
+CombinedLayout::CombinedLayout(Addr x_base, Addr aux_base, Addr n, Pid p,
+                               unsigned task_cycles, Addr leaf_elems)
+    : done(aux_base),
+      v(x_base, aux_base + 1, n, p, task_cycles, leaf_elems),
+      x(x_base, v.aux_end(), n, p) {}
+
+CombinedState::CombinedState(const WriteAllConfig& config,
+                             const CombinedLayout& layout, Pid pid,
+                             Slot start_slot)
+    : start_slot_(start_slot),
+      v_(config, layout.v, pid, layout.done, start_slot, /*clock_stride=*/2),
+      x_(config, layout.x, pid, layout.done) {}
+
+bool CombinedState::cycle(CycleContext& ctx) {
+  const Slot rel = ctx.slot() - start_slot_;
+  // Either half returning false means the done flag is (being) set:
+  // V halts only on completion, and X exits only through a done root.
+  return (rel % 2 == 0) ? v_.cycle(ctx) : x_.cycle(ctx);
+}
+
+CombinedVX::CombinedVX(WriteAllConfig config)
+    : WriteAllProgram(config),
+      layout_(config_.base, config_.base + config_.n, config_.n, config_.p,
+              config_.task_cycles(), config_.leaf_elems) {}
+
+std::unique_ptr<ProcessorState> CombinedVX::boot(Pid pid) const {
+  return std::make_unique<CombinedState>(config_, layout_, pid);
+}
+
+bool CombinedVX::goal(const SharedMemory& mem) const {
+  return payload_of(mem.read(layout_.done), config_.stamp) != 0;
+}
+
+}  // namespace rfsp

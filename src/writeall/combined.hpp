@@ -1,0 +1,67 @@
+// The combined algorithm of Theorem 4.9: interleave V and X.
+//
+// "The executions of algorithms V and X can be interleaved to yield an
+// algorithm that achieves S = O(min{N + P log²N + M log N, N·P^{0.59}})
+// and σ = O(log²N)."
+//
+// Implementation: even-numbered slots (relative to the start slot) execute
+// one V update cycle, odd-numbered slots one X update cycle. Both instances
+// mark the same output array x (their visits are idempotent and write equal
+// values, so COMMON is respected); each maintains its own progress tree.
+// Whichever instance completes its root first writes the shared done flag;
+// V polls the flag once per iteration and while waiting, X terminates by
+// draining through its own root, so every processor halts within O(log N)
+// slots of the flag being set. Work at most doubles relative to the faster
+// branch — the min{} bound up to constants.
+//
+// V's instance sees a virtual clock at stride 2, so its fixed-length phase
+// schedule (and restart wrap-around) is preserved under interleaving.
+#pragma once
+
+#include "writeall/algv.hpp"
+#include "writeall/algx.hpp"
+#include "writeall/layout.hpp"
+
+namespace rfsp {
+
+struct CombinedLayout {
+  CombinedLayout(Addr x_base, Addr aux_base, Addr n, Pid p,
+                 unsigned task_cycles, Addr leaf_elems = 0);
+
+  Addr done = 0;  // shared completion flag (stamped)
+  VLayout v;
+  XLayout x;
+
+  Addr aux_end() const { return x.aux_end(); }
+};
+
+class CombinedState final : public ProcessorState {
+ public:
+  CombinedState(const WriteAllConfig& config, const CombinedLayout& layout,
+                Pid pid, Slot start_slot = 0);
+
+  bool cycle(CycleContext& ctx) override;
+
+ private:
+  Slot start_slot_;
+  AlgVState v_;
+  AlgXState x_;
+};
+
+class CombinedVX final : public WriteAllProgram {
+ public:
+  explicit CombinedVX(WriteAllConfig config);
+
+  std::string_view name() const override { return "VX"; }
+  Addr memory_size() const override { return layout_.aux_end(); }
+  std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  bool goal(const SharedMemory& mem) const override;
+  Addr x_base() const override { return layout_.v.x_base; }
+
+  const CombinedLayout& layout() const { return layout_; }
+
+ private:
+  CombinedLayout layout_;
+};
+
+}  // namespace rfsp

@@ -1,0 +1,83 @@
+#include "writeall/runner.hpp"
+
+#include "util/error.hpp"
+#include "writeall/acc.hpp"
+#include "writeall/algv.hpp"
+#include "writeall/algw.hpp"
+#include "writeall/algx.hpp"
+#include "writeall/combined.hpp"
+#include "writeall/snapshot.hpp"
+#include "writeall/trivial.hpp"
+
+namespace rfsp {
+
+std::string_view to_string(WriteAllAlgo algo) {
+  switch (algo) {
+    case WriteAllAlgo::kTrivial: return "trivial";
+    case WriteAllAlgo::kSequential: return "sequential";
+    case WriteAllAlgo::kW: return "W";
+    case WriteAllAlgo::kV: return "V";
+    case WriteAllAlgo::kX: return "X";
+    case WriteAllAlgo::kCombinedVX: return "VX";
+    case WriteAllAlgo::kSnapshot: return "snapshot";
+    case WriteAllAlgo::kAcc: return "ACC";
+  }
+  return "?";
+}
+
+const std::vector<WriteAllAlgo>& all_writeall_algos() {
+  static const std::vector<WriteAllAlgo> algos = {
+      WriteAllAlgo::kTrivial,    WriteAllAlgo::kSequential,
+      WriteAllAlgo::kW,          WriteAllAlgo::kV,
+      WriteAllAlgo::kX,          WriteAllAlgo::kCombinedVX,
+      WriteAllAlgo::kSnapshot,   WriteAllAlgo::kAcc,
+  };
+  return algos;
+}
+
+const std::vector<WriteAllAlgo>& robust_writeall_algos() {
+  static const std::vector<WriteAllAlgo> algos = {
+      WriteAllAlgo::kV,
+      WriteAllAlgo::kX,
+      WriteAllAlgo::kCombinedVX,
+      WriteAllAlgo::kAcc,
+  };
+  return algos;
+}
+
+std::unique_ptr<WriteAllProgram> make_writeall(WriteAllAlgo algo,
+                                               const WriteAllConfig& config) {
+  switch (algo) {
+    case WriteAllAlgo::kTrivial:
+      return std::make_unique<TrivialWriteAll>(config);
+    case WriteAllAlgo::kSequential:
+      return std::make_unique<SequentialWriteAll>(config);
+    case WriteAllAlgo::kW:
+      return std::make_unique<AlgW>(config);
+    case WriteAllAlgo::kV:
+      return std::make_unique<AlgV>(config);
+    case WriteAllAlgo::kX:
+      return std::make_unique<AlgX>(config);
+    case WriteAllAlgo::kCombinedVX:
+      return std::make_unique<CombinedVX>(config);
+    case WriteAllAlgo::kSnapshot:
+      return std::make_unique<SnapshotWriteAll>(config);
+    case WriteAllAlgo::kAcc:
+      return std::make_unique<AccWriteAll>(config);
+  }
+  throw ConfigError("unknown Write-All algorithm");
+}
+
+WriteAllOutcome run_writeall(WriteAllAlgo algo, const WriteAllConfig& config,
+                             Adversary& adversary, EngineOptions options) {
+  if (algo == WriteAllAlgo::kSnapshot) options.unit_cost_snapshot = true;
+  const std::unique_ptr<WriteAllProgram> program =
+      make_writeall(algo, config);
+  Engine engine(*program, options);
+  WriteAllOutcome outcome;
+  outcome.run = engine.run(adversary);
+  outcome.solved = program->solved(engine.memory());
+  return outcome;
+}
+
+}  // namespace rfsp

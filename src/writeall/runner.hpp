@@ -1,0 +1,46 @@
+// Uniform construction and execution of every Write-All algorithm in the
+// library — the surface tests, benches, and examples drive.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fault/adversary.hpp"
+#include "pram/engine.hpp"
+#include "writeall/layout.hpp"
+
+namespace rfsp {
+
+enum class WriteAllAlgo {
+  kTrivial,     // optimal fault-free parallel assignment (not fault-tolerant)
+  kSequential,  // one-processor sweep, W(|I|) = N
+  kW,           // [KS 89] four-phase algorithm (fail-stop, no restarts)
+  kV,           // §4.1 three-phase algorithm (restart-safe bounds)
+  kX,           // §4.2 local progress-tree descent (any pattern)
+  kCombinedVX,  // Theorem 4.9 interleave
+  kSnapshot,    // Theorem 3.2 (requires unit-cost snapshot mode)
+  kAcc,         // randomized stand-in for [MSP 90] (§5)
+};
+
+std::string_view to_string(WriteAllAlgo algo);
+
+// All algorithms, in declaration order.
+const std::vector<WriteAllAlgo>& all_writeall_algos();
+
+// The fault-tolerant ones (every adversary, restarts included, must solve).
+const std::vector<WriteAllAlgo>& robust_writeall_algos();
+
+std::unique_ptr<WriteAllProgram> make_writeall(WriteAllAlgo algo,
+                                               const WriteAllConfig& config);
+
+struct WriteAllOutcome {
+  RunResult run;
+  bool solved = false;  // postcondition x[0..n) all visited
+};
+
+// Build, run, verify. Sets EngineOptions::unit_cost_snapshot automatically
+// for the snapshot algorithm.
+WriteAllOutcome run_writeall(WriteAllAlgo algo, const WriteAllConfig& config,
+                             Adversary& adversary, EngineOptions options = {});
+
+}  // namespace rfsp

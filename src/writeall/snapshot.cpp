@@ -1,0 +1,63 @@
+#include "writeall/snapshot.hpp"
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+namespace {
+
+class SnapshotState final : public ProcessorState {
+ public:
+  SnapshotState(const WriteAllConfig& config, Pid pid)
+      : config_(config), pid_(pid) {}
+
+  bool cycle(CycleContext& ctx) override {
+    const std::span<const Word> mem = ctx.snapshot();
+
+    // Number the unvisited cells 1..U by position; pick ours on the fly.
+    // (Theorem 3.2's proof: processor PID takes the i-th unvisited element
+    // with i = ⌈PID·U/N⌉ — a balanced oblivious assignment.)
+    Addr u = 0;
+    for (Addr i = 0; i < config_.n; ++i) {
+      if (payload_of(mem[config_.base + i], config_.stamp) == 0) ++u;
+    }
+    if (u == 0) return false;  // solved; halt
+
+    const Addr target_rank =
+        (static_cast<Addr>(pid_) * u) / static_cast<Addr>(config_.p);
+    Addr seen = 0;
+    for (Addr i = 0; i < config_.n; ++i) {
+      if (payload_of(mem[config_.base + i], config_.stamp) != 0) continue;
+      if (seen == target_rank) {
+        ctx.write(config_.base + i, stamped(config_.stamp, 1));
+        return true;
+      }
+      ++seen;
+    }
+    RFSP_CHECK_MSG(false, "target rank < U must exist");
+    return false;
+  }
+
+ private:
+  WriteAllConfig config_;
+  Pid pid_;
+};
+
+}  // namespace
+
+SnapshotWriteAll::SnapshotWriteAll(WriteAllConfig config)
+    : WriteAllProgram(config) {
+  if (config_.task != nullptr) {
+    throw ConfigError("SnapshotWriteAll supports only plain Write-All");
+  }
+}
+
+std::unique_ptr<ProcessorState> SnapshotWriteAll::boot(Pid pid) const {
+  return std::make_unique<SnapshotState>(config_, pid);
+}
+
+bool SnapshotWriteAll::goal(const SharedMemory& mem) const {
+  return solved(mem);
+}
+
+}  // namespace rfsp

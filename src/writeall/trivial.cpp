@@ -1,0 +1,93 @@
+#include "writeall/trivial.hpp"
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+namespace {
+
+// Shared goal logic: guard on the lexicographically last cell (always the
+// last one a fault-free run writes) before paying for a full scan, so the
+// per-slot goal check is O(1) until the run is nearly finished.
+bool all_visited(const SharedMemory& mem, const WriteAllConfig& config,
+                 Addr x_base) {
+  if (payload_of(mem.read(x_base + config.n - 1), config.stamp) == 0) {
+    return false;
+  }
+  for (Addr i = 0; i + 1 < config.n; ++i) {
+    if (payload_of(mem.read(x_base + i), config.stamp) == 0) return false;
+  }
+  return true;
+}
+
+class TrivialState final : public ProcessorState {
+ public:
+  TrivialState(const WriteAllConfig& config, Pid pid)
+      : config_(config), next_(pid) {}
+
+  bool cycle(CycleContext& ctx) override {
+    if (next_ >= config_.n) return false;
+    ctx.write(config_.base + next_, stamped(config_.stamp, 1));
+    next_ += config_.p;  // private stride counter; lost on failure
+    return next_ < config_.n;
+  }
+
+ private:
+  WriteAllConfig config_;
+  Addr next_;
+};
+
+class SequentialState final : public ProcessorState {
+ public:
+  explicit SequentialState(const WriteAllConfig& config) : config_(config) {}
+
+  bool cycle(CycleContext& ctx) override {
+    ctx.write(config_.base + next_, stamped(config_.stamp, 1));
+    ++next_;
+    return next_ < config_.n;
+  }
+
+ private:
+  WriteAllConfig config_;
+  Addr next_ = 0;
+};
+
+void require_plain(const WriteAllConfig& config, const char* who) {
+  if (config.task != nullptr) {
+    throw ConfigError(std::string(who) +
+                      " supports only plain Write-All (no TaskSpec)");
+  }
+}
+
+}  // namespace
+
+TrivialWriteAll::TrivialWriteAll(WriteAllConfig config)
+    : WriteAllProgram(config) {
+  require_plain(config_, "TrivialWriteAll");
+}
+
+std::unique_ptr<ProcessorState> TrivialWriteAll::boot(Pid pid) const {
+  return std::make_unique<TrivialState>(config_, pid);
+}
+
+bool TrivialWriteAll::goal(const SharedMemory& mem) const {
+  return all_visited(mem, config_, x_base());
+}
+
+SequentialWriteAll::SequentialWriteAll(WriteAllConfig config)
+    : WriteAllProgram(config) {
+  require_plain(config_, "SequentialWriteAll");
+  if (config_.p != 1) {
+    throw ConfigError("SequentialWriteAll runs with exactly one processor");
+  }
+}
+
+std::unique_ptr<ProcessorState> SequentialWriteAll::boot(Pid) const {
+  return std::make_unique<SequentialState>(config_);
+}
+
+bool SequentialWriteAll::goal(const SharedMemory& mem) const {
+  return all_visited(mem, config_, x_base());
+}
+
+}  // namespace rfsp

@@ -1,0 +1,43 @@
+// Non-fault-tolerant baselines.
+//
+//  * Trivial   — "in the absence of failures, this problem is solved by a
+//    trivial and optimal parallel assignment" (§1): processor PID writes
+//    cells PID, PID+P, PID+2P, ... and halts. Work N, time ⌈N/P⌉. It is
+//    NOT fault-tolerant: if a processor dies without restart its cells are
+//    never written (the run ends in deadlock), which is precisely the
+//    motivation for the fault-tolerant algorithms.
+//  * Sequential — the best sequential solution, W(|I|) = N (Remark 3's
+//    denominator): one processor sweeps the array left to right. A restart
+//    loses the private sweep position and resumes from 0.
+//
+// Both support only plain Write-All (no TaskSpec) and no stamping epochs
+// beyond config.stamp pass-through.
+#pragma once
+
+#include "writeall/layout.hpp"
+
+namespace rfsp {
+
+class TrivialWriteAll final : public WriteAllProgram {
+ public:
+  explicit TrivialWriteAll(WriteAllConfig config);
+
+  std::string_view name() const override { return "trivial"; }
+  Addr memory_size() const override { return config_.base + config_.n; }
+  std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  bool goal(const SharedMemory& mem) const override;
+  Addr x_base() const override { return config_.base; }
+};
+
+class SequentialWriteAll final : public WriteAllProgram {
+ public:
+  explicit SequentialWriteAll(WriteAllConfig config);  // requires p == 1
+
+  std::string_view name() const override { return "sequential"; }
+  Addr memory_size() const override { return config_.base + config_.n; }
+  std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  bool goal(const SharedMemory& mem) const override;
+  Addr x_base() const override { return config_.base; }
+};
+
+}  // namespace rfsp

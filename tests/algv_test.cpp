@@ -1,0 +1,141 @@
+// Algorithm V specifics: layout/phase arithmetic, the Lemma 4.2 /
+// Theorem 4.3 work bounds, and restart re-synchronization via the clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/adversaries.hpp"
+#include "pram/engine.hpp"
+#include "test_util.hpp"
+#include "util/bits.hpp"
+#include "writeall/algv.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+using testing::LambdaAdversary;
+
+TEST(VLayout, Geometry) {
+  const VLayout layout(0, 100, 1024, 64, 0);
+  EXPECT_EQ(layout.elems_per_leaf, 10u);             // log2(1024)
+  EXPECT_EQ(layout.leaves_real, 103u);               // ceil(1024/10)
+  EXPECT_EQ(layout.leaves, 128u);
+  EXPECT_EQ(layout.depth, 7u);
+  EXPECT_EQ(layout.phase_alloc, 7u);
+  EXPECT_EQ(layout.phase_work, 10u);                 // B · (0 + 1)
+  EXPECT_EQ(layout.phase_update, 8u);
+  EXPECT_EQ(layout.iteration, 25u);
+  EXPECT_EQ(layout.c(1), 100u);
+  EXPECT_EQ(layout.aux_end(), 100u + 255u);
+}
+
+TEST(VLayout, TinyInstance) {
+  const VLayout layout(0, 10, 1, 1, 0);
+  EXPECT_EQ(layout.elems_per_leaf, 1u);
+  EXPECT_EQ(layout.leaves, 1u);
+  EXPECT_EQ(layout.depth, 0u);
+  EXPECT_EQ(layout.iteration, 0u + 1u + 1u);
+}
+
+TEST(VLayout, RealLeavesBelow) {
+  const VLayout layout(0, 0, 1024, 64, 0);  // 103 real leaves of 128
+  EXPECT_EQ(layout.real_leaves_below(1), 103u);
+  EXPECT_EQ(layout.real_leaves_below(2), 64u);   // left half all real
+  EXPECT_EQ(layout.real_leaves_below(3), 39u);   // right half partly padded
+  EXPECT_EQ(layout.real_leaves_below(layout.leaf_node(102)), 1u);
+  EXPECT_EQ(layout.real_leaves_below(layout.leaf_node(103)), 0u);
+}
+
+TEST(AlgV, FaultFreeWorkBound) {
+  // Lemma 4.2: S = O(N + P log²N) — assert a fixed-constant version.
+  for (Addr n : {Addr{64}, Addr{256}, Addr{1024}, Addr{4096}}) {
+    for (Pid p :
+         {Pid{1}, static_cast<Pid>(n / (floor_log2(n) * floor_log2(n))),
+          static_cast<Pid>(n / floor_log2(n)), static_cast<Pid>(n)}) {
+      if (p < 1 || p > n) continue;
+      NoFailures none;
+      const WriteAllConfig config{.n = n, .p = p};
+      const auto out = run_writeall(WriteAllAlgo::kV, config, none);
+      ASSERT_TRUE(out.solved) << "n=" << n << " p=" << p;
+      const double logn = floor_log2(n);
+      const double bound = 8.0 * (n + p * logn * logn) + 64;
+      EXPECT_LE(static_cast<double>(out.run.tally.completed_work), bound)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(AlgV, WorkOptimalRegime) {
+  // Corollary 4.12's fault-free corner: P ≤ N/log²N gives S = O(N).
+  const Addr n = 4096;
+  const unsigned logn = floor_log2(n);
+  const Pid p = static_cast<Pid>(n / (logn * logn));
+  NoFailures none;
+  const auto out = run_writeall(WriteAllAlgo::kV, {.n = n, .p = p}, none);
+  ASSERT_TRUE(out.solved);
+  EXPECT_LE(out.run.tally.completed_work, 8u * n);
+}
+
+TEST(AlgV, RestartStormWorkBound) {
+  // Theorem 4.3: S = O(N + P log²N + M log N) with M = |F|.
+  const Addr n = 1024;
+  const Pid p = 128;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomAdversary adversary(seed,
+                              {.fail_prob = 0.15, .restart_prob = 0.5});
+    const auto out = run_writeall(WriteAllAlgo::kV, {.n = n, .p = p},
+                                  adversary);
+    ASSERT_TRUE(out.solved);
+    const double logn = floor_log2(n);
+    const double m = static_cast<double>(out.run.tally.pattern_size());
+    const double bound = 8.0 * (n + p * logn * logn + m * logn) + 64;
+    EXPECT_LE(static_cast<double>(out.run.tally.completed_work), bound);
+  }
+}
+
+TEST(AlgV, RestartedProcessorsWaitForWrapAround) {
+  // Fail every processor except 0 early in an iteration and restart them
+  // immediately: V must still solve, and the casualties' waiting cycles may
+  // not corrupt the tree (solved postcondition + bounded work check).
+  const Addr n = 256;
+  const Pid p = 16;
+  const AlgV program({.n = n, .p = p});
+  const Slot iteration = program.layout().iteration;
+
+  LambdaAdversary adversary([&](const MachineView& view) {
+    FaultDecision d;
+    if (view.slot() % iteration == 2 && view.slot() < 4 * iteration) {
+      for (Pid pid = 1; pid < p; ++pid) {
+        if (view.trace(pid).started) {
+          d.fail_mid_cycle.push_back(pid);
+          d.restart.push_back(pid);
+        }
+      }
+    }
+    return d;
+  });
+  Engine engine(program);
+  const RunResult result = engine.run(adversary);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_TRUE(program.solved(engine.memory()));
+}
+
+TEST(AlgV, SoleSurvivorFinishes) {
+  // Kill everyone but processor 0 permanently at slot 0: V must degrade to
+  // a sequential execution and still terminate.
+  const Addr n = 128;
+  const Pid p = 8;
+  LambdaAdversary adversary([&](const MachineView& view) {
+    FaultDecision d;
+    if (view.slot() == 0) {
+      for (Pid pid = 1; pid < p; ++pid) d.fail_after_cycle.push_back(pid);
+    }
+    return d;
+  });
+  const auto out = run_writeall(WriteAllAlgo::kV, {.n = n, .p = p}, adversary);
+  EXPECT_TRUE(out.solved);
+}
+
+}  // namespace
+}  // namespace rfsp

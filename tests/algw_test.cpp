@@ -1,0 +1,112 @@
+// Algorithm W: efficient under fail-stop without restarts; breaks (fails to
+// terminate) under restarts — the §4.1 motivation for algorithm V.
+#include <gtest/gtest.h>
+
+#include "fault/adversaries.hpp"
+#include "fault/iteration_killer.hpp"
+#include "pram/engine.hpp"
+#include "test_util.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "writeall/algv.hpp"
+#include "writeall/algw.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+using testing::LambdaAdversary;
+
+TEST(WLayout, Geometry) {
+  const WLayout layout(0, 1024, 1024, 100);
+  EXPECT_EQ(layout.p_pad, 128u);
+  EXPECT_EQ(layout.p_depth, 7u);
+  EXPECT_EQ(layout.phase_count, 9u);  // 1 + 7 + 1
+  EXPECT_EQ(layout.iteration,
+            layout.phase_count + layout.progress.phase_alloc +
+                layout.progress.phase_work + layout.progress.phase_update);
+}
+
+TEST(AlgW, RejectsEpochsAndTasks) {
+  EXPECT_THROW(AlgW program({.n = 16, .p = 4, .stamp = 1}), ConfigError);
+}
+
+TEST(AlgW, FaultFreeWorkBound) {
+  for (Addr n : {Addr{64}, Addr{1024}}) {
+    for (Pid p : {Pid{1}, static_cast<Pid>(n / floor_log2(n)),
+                  static_cast<Pid>(n)}) {
+      if (p < 1 || p > n) continue;
+      NoFailures none;
+      const auto out = run_writeall(WriteAllAlgo::kW, {.n = n, .p = p}, none);
+      ASSERT_TRUE(out.solved) << "n=" << n << " p=" << p;
+      const double logn = floor_log2(n);
+      EXPECT_LE(static_cast<double>(out.run.tally.completed_work),
+                10.0 * (n + p * logn * logn) + 64);
+    }
+  }
+}
+
+TEST(AlgW, SurvivesCrashOnlyPatterns) {
+  RandomAdversary adversary(8, {.fail_prob = 0.02, .restart_prob = 0.0});
+  const auto out =
+      run_writeall(WriteAllAlgo::kW, {.n = 512, .p = 512}, adversary);
+  EXPECT_TRUE(out.solved);
+  EXPECT_EQ(out.run.tally.restarts, 0u);
+}
+
+TEST(AlgW, RestartsPreventTermination) {
+  // The §4.1 killer pattern: fail every worker that began the iteration
+  // before it can record progress, restart it, repeat. No iteration's
+  // phase-4 progress write ever commits, so W never terminates: the run
+  // exhausts the slot budget with the array unfinished. (This is exactly
+  // the §4.1 argument for why V replaces W's enumeration and why
+  // Theorem 4.9 interleaves X for termination.)
+  const Addr n = 64;
+  const Pid p = 8;
+  const AlgW program({.n = n, .p = p});
+  // Kill right after the counting phase, before any leaf work of the
+  // iteration can land.
+  IterationKiller adversary(program.layout().iteration,
+                            program.layout().phase_count);
+  EngineOptions options;
+  options.max_slots = 20000;
+  Engine engine(program, options);
+  const RunResult result = engine.run(adversary);
+  EXPECT_FALSE(result.goal_met);
+  EXPECT_TRUE(result.slot_limit);
+  EXPECT_FALSE(program.solved(engine.memory()));
+}
+
+TEST(AlgV, RestartsPreventTerminationToo) {
+  // Same pattern against V: the clock re-synchronization lets revived
+  // processors rejoin, but none survives long enough to record progress.
+  const Addr n = 64;
+  const Pid p = 8;
+  const AlgV program({.n = n, .p = p});
+  IterationKiller adversary(program.layout().iteration);
+  EngineOptions options;
+  options.max_slots = 20000;
+  Engine engine(program, options);
+  const RunResult result = engine.run(adversary);
+  EXPECT_FALSE(result.goal_met);
+  EXPECT_TRUE(result.slot_limit);
+}
+
+TEST(AlgW, EnumerationShrinksWithDeaths) {
+  // After permanently failing half the processors, W still solves (the next
+  // iteration's enumeration simply counts fewer live processors).
+  const Addr n = 256;
+  const Pid p = 16;
+  LambdaAdversary adversary([&](const MachineView& view) {
+    FaultDecision d;
+    if (view.slot() == 0) {
+      for (Pid pid = p / 2; pid < p; ++pid) d.fail_after_cycle.push_back(pid);
+    }
+    return d;
+  });
+  const auto out = run_writeall(WriteAllAlgo::kW, {.n = n, .p = p}, adversary);
+  EXPECT_TRUE(out.solved);
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,0 +1,192 @@
+// Algorithm X specifics: layout arithmetic, traversal invariants, recovery
+// from the stable w[] cells, and fault-free work bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/adversaries.hpp"
+#include "pram/engine.hpp"
+#include "test_util.hpp"
+#include "util/bits.hpp"
+#include "writeall/algx.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+using testing::LambdaAdversary;
+
+TEST(XLayout, PowersOfTwo) {
+  const XLayout layout(0, 10, 10, 4);
+  EXPECT_EQ(layout.n_pad, 16u);
+  EXPECT_EQ(layout.height, 4u);
+  EXPECT_EQ(layout.d(1), 10u);
+  EXPECT_EQ(layout.d(31), 40u);
+  EXPECT_EQ(layout.w(0), 41u);
+  EXPECT_EQ(layout.aux_end(), 45u);
+}
+
+TEST(XLayout, LeafAndElementMapping) {
+  const XLayout layout(0, 8, 8, 8);
+  EXPECT_EQ(layout.leaf(0), 8u);
+  EXPECT_EQ(layout.leaf(7), 15u);
+  EXPECT_EQ(layout.first_element(8), 0u);
+  EXPECT_EQ(layout.first_element(15), 7u);
+  EXPECT_EQ(layout.first_element(1), 0u);
+  EXPECT_EQ(layout.elements_below(1), 8u);
+  EXPECT_EQ(layout.elements_below(2), 4u);
+  EXPECT_EQ(layout.elements_below(9), 1u);
+}
+
+TEST(XLayout, StructuralPadding) {
+  const XLayout layout(0, 10, 10, 1);  // n = 10, padded to 16
+  EXPECT_FALSE(layout.structurally_done(1));
+  // Node 2 covers elements [0,8), node 3 covers [8,16): 3 is partly real.
+  EXPECT_FALSE(layout.structurally_done(3));
+  // Leaf 16+10 is the first fully padded leaf.
+  EXPECT_TRUE(layout.structurally_done(layout.leaf(10)));
+  // Node 7 covers [12,16): fully padded.
+  EXPECT_TRUE(layout.structurally_done(7));
+}
+
+TEST(XLayout, SingleElementTree) {
+  const XLayout layout(0, 1, 1, 1);
+  EXPECT_EQ(layout.n_pad, 1u);
+  EXPECT_EQ(layout.height, 0u);
+  EXPECT_EQ(layout.leaf(0), 1u);  // the leaf is the root
+  EXPECT_EQ(layout.exited(), 2);
+}
+
+TEST(AlgX, FaultFreeWorkNearNLogN) {
+  // Fault-free with P = N, all processors march in lock step: two visits
+  // per leaf plus a joint climb — S = O(N log N), and at least N.
+  for (Addr n : {Addr{64}, Addr{256}, Addr{1024}}) {
+    NoFailures none;
+    const WriteAllConfig config{.n = n, .p = static_cast<Pid>(n)};
+    const auto out = run_writeall(WriteAllAlgo::kX, config, none);
+    ASSERT_TRUE(out.solved);
+    const double s = static_cast<double>(out.run.tally.completed_work);
+    EXPECT_GE(s, static_cast<double>(n));
+    EXPECT_LE(s, 8.0 * static_cast<double>(n) * (floor_log2(n) + 2));
+  }
+}
+
+TEST(AlgX, SingleProcessorIsLinear) {
+  // P = 1: a post-order sweep; S = Θ(N).
+  const Addr n = 512;
+  NoFailures none;
+  const WriteAllConfig config{.n = n, .p = 1};
+  const auto out = run_writeall(WriteAllAlgo::kX, config, none);
+  ASSERT_TRUE(out.solved);
+  EXPECT_LE(out.run.tally.completed_work, 12u * n);
+}
+
+TEST(AlgX, TraversalPositionsStayValid) {
+  // Watch every committed w[] cell during a faulty run: it must always hold
+  // 0 (uninitialized), a heap position, or the exited sentinel.
+  const Addr n = 64;
+  const Pid p = 32;
+  const AlgX program({.n = n, .p = p});
+  const XLayout& layout = program.layout();
+
+  RandomAdversary inner(7, {.fail_prob = 0.2, .restart_prob = 0.5});
+  bool ok = true;
+  LambdaAdversary watcher([&](const MachineView& view) {
+    for (Pid pid = 0; pid < p; ++pid) {
+      const Word pos = payload_of(view.memory().read(layout.w(pid)), 0);
+      const bool valid = pos == 0 || pos == layout.exited() ||
+                         (pos >= 1 && pos < static_cast<Word>(2 * n));
+      ok = ok && valid;
+    }
+    return inner.decide(view);
+  });
+  Engine engine(program);
+  const RunResult result = engine.run(watcher);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_TRUE(ok);
+}
+
+TEST(AlgX, RecoveryResumesFromSharedPosition) {
+  // Kill a processor mid-run and restart it: its first cycle must read the
+  // stable w[] cell rather than redo initialization (w stays non-zero).
+  const Addr n = 32;
+  const AlgX program({.n = n, .p = 2});
+  const XLayout& layout = program.layout();
+
+  bool failed_once = false;
+  bool reinitialized = false;
+  Word pos_at_failure = 0;
+  LambdaAdversary adversary([&](const MachineView& view) {
+    FaultDecision d;
+    const Word pos = payload_of(view.memory().read(layout.w(1)), 0);
+    if (!failed_once && view.slot() == 6) {
+      failed_once = true;
+      pos_at_failure = pos;
+      d.fail_mid_cycle.push_back(1);
+      d.restart.push_back(1);
+    } else if (failed_once && view.slot() == 7) {
+      // One slot after restart the position must be unchanged (the aborted
+      // cycle's write was discarded; recovery reads w, not re-init).
+      reinitialized = pos != pos_at_failure;
+    }
+    return d;
+  });
+  Engine engine(program);
+  const RunResult result = engine.run(adversary);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_TRUE(failed_once);
+  EXPECT_FALSE(reinitialized);
+  EXPECT_NE(pos_at_failure, 0);  // by slot 6 processor 1 was initialized
+}
+
+TEST(AlgX, ExitSentinelSetForSurvivors) {
+  const Addr n = 16;
+  const AlgX program({.n = n, .p = 4});
+  NoFailures none;
+  Engine engine(program);
+  const RunResult result = engine.run(none);
+  ASSERT_TRUE(result.goal_met || result.tally.halted == 4);
+  // Run to completion: survivors must have drained through the root.
+  for (Pid pid = 0; pid < 4; ++pid) {
+    const Word pos =
+        payload_of(engine.memory().read(program.layout().w(pid)), 0);
+    // Either exited or still draining when the goal fired.
+    EXPECT_TRUE(pos == program.layout().exited() || pos >= 1);
+  }
+}
+
+TEST(AlgX, Lemma45ProcessorScaling) {
+  // Lemma 4.5's shape, fault-free: doubling P at most doubles the work
+  // (processors whose significant PID bits coincide shadow each other).
+  const Addr n = 1024;
+  NoFailures none;
+  std::uint64_t prev = 0;
+  for (Pid p : {Pid{32}, Pid{64}, Pid{128}, Pid{256}}) {
+    NoFailures fresh;
+    const auto out = run_writeall(WriteAllAlgo::kX, {.n = n, .p = p}, fresh);
+    ASSERT_TRUE(out.solved);
+    if (prev != 0) {
+      EXPECT_LE(out.run.tally.completed_work, 2 * prev + n)
+          << "p=" << p;  // S_{N,2P} <= 2 S_{N,P} (+ slack for the drain)
+    }
+    prev = out.run.tally.completed_work;
+  }
+  (void)none;
+}
+
+TEST(AlgX, EveryPatternTerminates) {
+  // Lemma 4.4/4.6: X terminates with bounded work under ANY pattern. Hammer
+  // it with a hostile mixture and confirm the sub-quadratic ceiling.
+  const Addr n = 128;
+  RandomAdversary adversary(
+      13, {.fail_prob = 0.5, .restart_prob = 0.9, .fail_after_frac = 0.2});
+  const WriteAllConfig config{.n = n, .p = static_cast<Pid>(n)};
+  const auto out = run_writeall(WriteAllAlgo::kX, config, adversary);
+  ASSERT_TRUE(out.solved);
+  // N^{log2 3} ≈ N^1.585; allow a generous constant.
+  const double ceiling = 20.0 * std::pow(static_cast<double>(n), 1.585);
+  EXPECT_LE(static_cast<double>(out.run.tally.completed_work), ceiling);
+}
+
+}  // namespace
+}  // namespace rfsp

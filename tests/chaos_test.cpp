@@ -1,0 +1,146 @@
+// Chaos testing: a decision fuzzer that mixes every legal adversary move —
+// mid-cycle failures, post-write failures, fail-then-restart in one slot,
+// delayed restarts, and (in bit-atomic mode) torn writes — against the
+// fault-tolerant algorithms and the simulator, across many seeds. The
+// engine's validation provides the legality oracle (any AdversaryViolation
+// here is a bug in the fuzzer's clamping, any ModelViolation a bug in an
+// algorithm), and the postcondition provides correctness.
+#include <gtest/gtest.h>
+
+#include "fault/adversary.hpp"
+#include "programs/programs.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+class ChaosAdversary final : public Adversary {
+ public:
+  ChaosAdversary(std::uint64_t seed, bool allow_torn)
+      : rng_(seed), allow_torn_(allow_torn) {}
+
+  std::string_view name() const override { return "chaos"; }
+
+  FaultDecision decide(const MachineView& view) override {
+    FaultDecision d;
+    std::vector<Pid> started;
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (view.trace(pid).started) started.push_back(pid);
+    }
+
+    // Keep at least one mid-cycle survivor (constraint 2(i)).
+    std::size_t abortable = started.empty() ? 0 : started.size() - 1;
+    for (const Pid pid : started) {
+      if (!rng_.chance(0.25)) continue;
+      const double move = rng_.uniform();
+      if (move < 0.4 && abortable > 0) {
+        d.fail_mid_cycle.push_back(pid);
+        --abortable;
+        if (rng_.chance(0.7)) d.restart.push_back(pid);  // same-slot revive
+      } else if (move < 0.6) {
+        d.fail_after_cycle.push_back(pid);
+        if (rng_.chance(0.5)) d.restart.push_back(pid);
+      } else if (allow_torn_ && abortable > 0 &&
+                 !view.trace(pid).writes.empty()) {
+        const std::size_t idx =
+            rng_.below(view.trace(pid).writes.size());
+        d.torn.push_back({pid, idx, static_cast<unsigned>(rng_.below(33))});
+        --abortable;
+        if (rng_.chance(0.7)) d.restart.push_back(pid);
+      }
+    }
+    // Revive older casualties sluggishly.
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (view.status(pid) == ProcStatus::kFailed && rng_.chance(0.4)) {
+        d.restart.push_back(pid);
+      }
+    }
+    return d;
+  }
+
+ private:
+  Rng rng_;
+  bool allow_torn_;
+};
+
+class ChaosSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeeds, WriteAllSurvives) {
+  const std::uint64_t seed = GetParam();
+  for (WriteAllAlgo algo : {WriteAllAlgo::kX, WriteAllAlgo::kCombinedVX,
+                            WriteAllAlgo::kAcc}) {
+    ChaosAdversary adversary(seed * 101 + 7, /*allow_torn=*/false);
+    const auto out =
+        run_writeall(algo, {.n = 100, .p = 25, .seed = seed}, adversary);
+    ASSERT_TRUE(out.solved) << to_string(algo) << " seed=" << seed;
+  }
+}
+
+TEST_P(ChaosSeeds, SimulatorSurvives) {
+  const std::uint64_t seed = GetParam();
+  PrefixSumProgram program({5, 3, 8, 1, 9, 2, 7, 4, 6, 10, 11, 12});
+  ChaosAdversary adversary(seed * 131 + 5, /*allow_torn=*/false);
+  const SimResult r =
+      simulate(program, adversary, {.physical_processors = 6});
+  ASSERT_TRUE(r.completed) << "seed=" << seed;
+  EXPECT_EQ(r.memory, reference_run(program)) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeeds,
+                         ::testing::Range<std::uint64_t>(1, 13),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "s" + std::to_string(i.param);
+                         });
+
+TEST(ChaosTorn, XSurvivesTornWritesWithBitSafeFreeStructures) {
+  // Algorithm X's shared cells are all single-logical-value writes whose
+  // consumers re-validate (positions are re-read, markers are 0/1, done
+  // bits monotone) — but a torn write CAN leave garbage in a cell, so this
+  // is strictly a robustness probe: X must either solve or fail loudly,
+  // never return a wrong "solved". With payload-threatening tears capped
+  // at whole-word boundaries (keep_bits 0 — drop the write entirely, the
+  // only tear that cannot fabricate values X would misparse), X solves.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    class DropWrites final : public Adversary {
+     public:
+      explicit DropWrites(std::uint64_t seed) : rng_(seed) {}
+      std::string_view name() const override { return "drop-writes"; }
+      FaultDecision decide(const MachineView& view) override {
+        FaultDecision d;
+        std::size_t abortable = 0;
+        for (Pid pid = 0; pid < view.processors(); ++pid) {
+          if (view.trace(pid).started) ++abortable;
+        }
+        if (abortable > 0) --abortable;
+        for (Pid pid = 0; pid < view.processors(); ++pid) {
+          const CycleTrace& trace = view.trace(pid);
+          if (!trace.started || trace.writes.empty()) continue;
+          if (abortable == 0) break;
+          if (!rng_.chance(0.15)) continue;
+          // keep_bits = 0: the write vanishes mid-flight — a pure torn
+          // failure with no fabricated bits.
+          d.torn.push_back({pid, rng_.below(trace.writes.size()), 0});
+          d.restart.push_back(pid);
+          --abortable;
+        }
+        return d;
+      }
+
+     private:
+      Rng rng_;
+    };
+
+    DropWrites adversary(seed);
+    EngineOptions options;
+    options.bit_atomic_writes = true;
+    const auto out = run_writeall(WriteAllAlgo::kX,
+                                  {.n = 64, .p = 16, .seed = seed},
+                                  adversary, options);
+    EXPECT_TRUE(out.solved) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,0 +1,98 @@
+// The combined V+X algorithm (Theorem 4.9): correctness, termination where
+// V/W alone do not terminate, and the min{...} work behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/adversaries.hpp"
+#include "fault/iteration_killer.hpp"
+#include "pram/engine.hpp"
+#include "test_util.hpp"
+#include "util/bits.hpp"
+#include "writeall/algv.hpp"
+#include "writeall/combined.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+using testing::LambdaAdversary;
+
+TEST(CombinedVX, FaultFreeWorkAtMostTwiceV) {
+  // Interleaving costs at most a factor ~2 over the faster branch; fault
+  // free that is V's O(N + P log²N).
+  for (Addr n : {Addr{256}, Addr{1024}}) {
+    const Pid p = static_cast<Pid>(n / floor_log2(n));
+    NoFailures none;
+    const auto out =
+        run_writeall(WriteAllAlgo::kCombinedVX, {.n = n, .p = p}, none);
+    ASSERT_TRUE(out.solved);
+    const double logn = floor_log2(n);
+    EXPECT_LE(static_cast<double>(out.run.tally.completed_work),
+              20.0 * (n + p * logn * logn) + 128);
+  }
+}
+
+TEST(CombinedVX, TerminatesUnderTheIterationKiller) {
+  // The §4.1 pattern that stalls V and W forever (kill every iteration's
+  // workers right after allocation starts) cannot stop the X half: X's
+  // traversal positions are stable in shared memory, so progress survives
+  // each kill. Theorem 4.9's combined algorithm therefore terminates.
+  const Addr n = 64;
+  const Pid p = 8;
+  const CombinedVX program({.n = n, .p = p});
+  // V runs at even relative slots; its iteration boundary in real slots is
+  // 2·iteration. The same strike schedule blocks V and W forever.
+  IterationKiller adversary(2 * program.layout().v.iteration);
+
+  EngineOptions options;
+  options.max_slots = 2'000'000;
+  Engine engine(program, options);
+  const RunResult result = engine.run(adversary);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_TRUE(program.solved(engine.memory()));
+}
+
+TEST(CombinedVX, SubQuadraticUnderHeavyRestartNoise) {
+  // With M enormous, the min{} bound is carried by the X branch:
+  // S = O(N · P^{0.59}) regardless of the pattern size.
+  const Addr n = 256;
+  RandomAdversary adversary(
+      21, {.fail_prob = 0.6, .restart_prob = 0.9, .fail_after_frac = 0.1});
+  const auto out = run_writeall(WriteAllAlgo::kCombinedVX,
+                                {.n = n, .p = static_cast<Pid>(n)}, adversary);
+  ASSERT_TRUE(out.solved);
+  const double ceiling = 40.0 * std::pow(static_cast<double>(n), 1.585);
+  EXPECT_LE(static_cast<double>(out.run.tally.completed_work), ceiling);
+}
+
+TEST(CombinedVX, ModerateFaultsStayNearVBound) {
+  // With few failures the V branch carries the min{}: work stays near
+  // N + P log²N + M log N, far below the X ceiling.
+  const Addr n = 1024;
+  const Pid p = 64;
+  BurstAdversaryOptions burst;
+  burst.period = 8;
+  burst.count = 4;
+  burst.max_pattern = 400;
+  BurstAdversary adversary(burst);
+  const auto out =
+      run_writeall(WriteAllAlgo::kCombinedVX, {.n = n, .p = p}, adversary);
+  ASSERT_TRUE(out.solved);
+  const double logn = floor_log2(n);
+  const double m = static_cast<double>(out.run.tally.pattern_size());
+  EXPECT_LE(static_cast<double>(out.run.tally.completed_work),
+            20.0 * (n + p * logn * logn + m * logn) + 128);
+}
+
+TEST(CombinedVX, DoneFlagSetExactlyOnce) {
+  const CombinedVX program({.n = 128, .p = 16});
+  NoFailures none;
+  Engine engine(program);
+  const RunResult result = engine.run(none);
+  ASSERT_TRUE(result.goal_met);
+  EXPECT_EQ(payload_of(engine.memory().read(program.layout().done), 0), 1);
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,0 +1,200 @@
+// The memory-discipline checker and ARBITRARY-CRCW simulation support
+// (Theorem 4.1's per-variant statement, Remark 4's PRIORITY exclusion).
+#include <gtest/gtest.h>
+
+#include "fault/adversaries.hpp"
+#include "programs/programs.hpp"
+#include "sim/discipline.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rfsp {
+namespace {
+
+std::vector<Word> values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(100));
+  return v;
+}
+
+TEST(Discipline, PrefixSumIsCrewButNotErew) {
+  PrefixSumProgram program(values(16, 1));
+  EXPECT_TRUE(check_discipline(program, CrcwModel::kCommon).ok);
+  EXPECT_TRUE(check_discipline(program, CrcwModel::kCrew).ok);
+  // Cell j is read by processors j and j + 2^t in one step.
+  const DisciplineReport erew = check_discipline(program, CrcwModel::kErew);
+  EXPECT_FALSE(erew.ok);
+  EXPECT_EQ(erew.violation, "concurrent read under EREW");
+}
+
+TEST(Discipline, StencilIsCrew) {
+  StencilProgram program({0, 5, 9, 3, 0}, 4);
+  EXPECT_TRUE(check_discipline(program, CrcwModel::kCrew).ok);
+  EXPECT_FALSE(check_discipline(program, CrcwModel::kErew).ok);
+}
+
+TEST(Discipline, LeaderElectionNeedsArbitrary) {
+  LeaderElectProgram program(8);
+  EXPECT_TRUE(check_discipline(program, CrcwModel::kArbitrary).ok);
+  const DisciplineReport common =
+      check_discipline(program, CrcwModel::kCommon);
+  EXPECT_FALSE(common.ok);
+  EXPECT_EQ(common.violation, "COMMON writers disagree");
+  EXPECT_EQ(common.step, 0u);
+  EXPECT_EQ(common.cell, 0u);
+}
+
+TEST(Discipline, MaxReduceIsCommonSafe) {
+  MaxReduceProgram program(values(20, 2));
+  EXPECT_TRUE(check_discipline(program, CrcwModel::kCommon).ok);
+}
+
+TEST(Discipline, WeakCrcwSemantics) {
+  // A program whose only concurrent writes carry the designated value 1.
+  class WeakWriters final : public SimProgram {
+   public:
+    std::string_view name() const override { return "weak"; }
+    Pid processors() const override { return 4; }
+    Addr memory_cells() const override { return 4; }
+    Step steps() const override { return 2; }
+    void step(StepContext& ctx, Pid j, Step t) const override {
+      if (t == 0) {
+        ctx.store(0, 1);  // everyone writes the designated value
+      } else {
+        ctx.store(1 + static_cast<Addr>(j) % 3,
+                  static_cast<Word>(j + 5));  // j=0 and j=3 collide on cell 1
+      }
+    }
+    unsigned registers() const override { return 0; }
+  };
+  WeakWriters program;
+  EXPECT_TRUE(check_discipline(program, CrcwModel::kWeak).ok ==
+              false);  // step 1: concurrent non-designated writes
+  const DisciplineReport report =
+      check_discipline(program, CrcwModel::kWeak);
+  EXPECT_EQ(report.step, 1u);
+
+  // Confining it to step 0 alone passes WEAK but fails nothing else weaker.
+  class OnlyOnes final : public SimProgram {
+   public:
+    std::string_view name() const override { return "ones"; }
+    Pid processors() const override { return 4; }
+    Addr memory_cells() const override { return 2; }
+    Step steps() const override { return 1; }
+    void step(StepContext& ctx, Pid, Step) const override { ctx.store(0, 1); }
+    unsigned registers() const override { return 0; }
+  };
+  OnlyOnes ones;
+  EXPECT_TRUE(check_discipline(ones, CrcwModel::kWeak).ok);
+  EXPECT_FALSE(check_discipline(ones, CrcwModel::kCrew).ok);
+}
+
+TEST(ArbitrarySim, LeaderElectionFaultFree) {
+  LeaderElectProgram program(16);
+  NoFailures none;
+  const SimResult r = simulate(program, none, {.physical_processors = 16});
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(program.verify(r.memory));
+}
+
+TEST(ArbitrarySim, LeaderElectionUnderRestartStorms) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    LeaderElectProgram program(24);
+    RandomAdversary adversary(seed * 131,
+                              {.fail_prob = 0.15, .restart_prob = 0.5});
+    const SimResult r =
+        simulate(program, adversary, {.physical_processors = 8});
+    ASSERT_TRUE(r.completed) << "seed=" << seed;
+    // The elected leader may differ from the fault-free run (ARBITRARY),
+    // but it must be a single consistent choice.
+    EXPECT_TRUE(program.verify(r.memory)) << "seed=" << seed;
+  }
+}
+
+TEST(ArbitrarySim, CommonProgramsUnaffectedByMarkerMachinery) {
+  // A COMMON program's layout carries no marker region.
+  PrefixSumProgram program(values(8, 3));
+  const SimLayout layout(program, 4);
+  EXPECT_EQ(layout.commit_marker_cells, 0u);
+
+  LeaderElectProgram arbitrary(8);
+  const SimLayout alayout(arbitrary, 4);
+  EXPECT_EQ(alayout.commit_marker_cells, alayout.data_cells);
+}
+
+TEST(ArbitrarySim, ConnectedComponentsFaultFree) {
+  // Two triangles plus an isolated vertex, linked by one bridge.
+  ConnectedComponentsProgram program(
+      7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  EXPECT_TRUE(check_discipline(program, CrcwModel::kArbitrary).ok);
+  NoFailures none;
+  const SimResult r = simulate(program, none, {.physical_processors = 7});
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(program.verify(r.memory));
+  // Vertices 0..5 share component 0; vertex 6 is alone.
+  for (Pid v = 0; v < 6; ++v) EXPECT_EQ(r.memory[v], 0) << v;
+  EXPECT_EQ(r.memory[6], 6);
+}
+
+TEST(ArbitrarySim, ConnectedComponentsUnderRestartStorms) {
+  // Random graphs across seeds: fragmented components, chains, cliques.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed * 977);
+    const Pid n = 24;
+    std::vector<std::pair<Pid, Pid>> edges;
+    for (int e = 0; e < 20; ++e) {
+      edges.emplace_back(static_cast<Pid>(rng.below(n)),
+                         static_cast<Pid>(rng.below(n)));
+    }
+    ConnectedComponentsProgram program(n, edges);
+    RandomAdversary adversary(seed * 31,
+                              {.fail_prob = 0.1, .restart_prob = 0.5});
+    const SimResult r =
+        simulate(program, adversary, {.physical_processors = 8});
+    ASSERT_TRUE(r.completed) << "seed=" << seed;
+    EXPECT_TRUE(program.verify(r.memory)) << "seed=" << seed;
+  }
+}
+
+TEST(ArbitrarySim, PriorityProgramsRejected) {
+  class PriorityProgram final : public SimProgram {
+   public:
+    std::string_view name() const override { return "priority"; }
+    Pid processors() const override { return 2; }
+    Addr memory_cells() const override { return 2; }
+    Step steps() const override { return 1; }
+    void step(StepContext& ctx, Pid j, Step) const override {
+      ctx.store(0, j);
+    }
+    CrcwModel discipline() const override { return CrcwModel::kPriority; }
+    unsigned registers() const override { return 0; }
+  };
+  PriorityProgram program;
+  NoFailures none;
+  EXPECT_THROW(simulate(program, none), ConfigError);  // Remark 4
+}
+
+TEST(ArbitrarySim, CommonViolatingProgramTripsTheEngine) {
+  // A program that claims COMMON but writes conflicting values must be
+  // caught by the machine itself, not silently resolved.
+  class Liar final : public SimProgram {
+   public:
+    std::string_view name() const override { return "liar"; }
+    Pid processors() const override { return 2; }
+    Addr memory_cells() const override { return 2; }
+    Step steps() const override { return 1; }
+    void step(StepContext& ctx, Pid j, Step) const override {
+      ctx.store(0, static_cast<Word>(j + 1));
+    }
+    unsigned registers() const override { return 0; }
+  };
+  Liar program;
+  NoFailures none;
+  EXPECT_THROW(simulate(program, none, {.physical_processors = 2}),
+               ModelViolation);
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,0 +1,92 @@
+// The threaded runtime: algorithm X under genuine asynchrony (OS threads,
+// atomic shared words) with and without injected restart failures.
+#include <gtest/gtest.h>
+
+#include "parallel/threaded.hpp"
+#include "util/error.hpp"
+
+namespace rfsp {
+namespace {
+
+TEST(AtomicMemory, LoadStore) {
+  AtomicMemory mem(8);
+  EXPECT_EQ(mem.load(3), 0);
+  mem.store(3, 42);
+  EXPECT_EQ(mem.load(3), 42);
+  EXPECT_THROW((void)mem.load(8), std::logic_error);
+}
+
+TEST(Threaded, SingleWorkerSolves) {
+  const ThreadedResult r =
+      run_threaded_writeall({.n = 512, .workers = 1, .seed = 3});
+  EXPECT_TRUE(r.solved);
+  EXPECT_GE(r.loop_iterations, 512u);
+}
+
+TEST(Threaded, ManyWorkersSolve) {
+  for (unsigned workers : {2u, 4u, 8u}) {
+    const ThreadedResult r = run_threaded_writeall(
+        {.n = 2048, .workers = workers, .seed = workers});
+    EXPECT_TRUE(r.solved) << "workers=" << workers;
+  }
+}
+
+TEST(Threaded, RandomDescentVariantSolves) {
+  const ThreadedResult r = run_threaded_writeall(
+      {.n = 1024, .workers = 4, .random_descent = true, .seed = 9});
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(Threaded, SurvivesInjectedRestarts) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ThreadedResult r = run_threaded_writeall({.n = 4096,
+                                                    .workers = 4,
+                                                    .seed = seed,
+                                                    .failures_per_worker = 3.0});
+    EXPECT_TRUE(r.solved) << "seed=" << seed;
+  }
+}
+
+TEST(Threaded, NonPowerOfTwoSizes) {
+  for (Addr n : {Addr{1}, Addr{3}, Addr{100}, Addr{1000}}) {
+    const ThreadedResult r =
+        run_threaded_writeall({.n = n, .workers = n < 4 ? 1u : 4u});
+    EXPECT_TRUE(r.solved) << "n=" << n;
+  }
+}
+
+TEST(Threaded, MapPayloadComputesResults) {
+  ThreadedOptions options;
+  options.n = 2048;
+  options.workers = 4;
+  options.seed = 5;
+  options.map = [](Addr i) { return static_cast<Word>(i * 2 + 1); };
+  const ThreadedResult r = run_threaded_writeall(options);
+  ASSERT_TRUE(r.solved);
+  ASSERT_EQ(r.map_output.size(), options.n);
+  for (Addr i = 0; i < options.n; ++i) {
+    EXPECT_EQ(r.map_output[i], static_cast<Word>(i * 2 + 1)) << i;
+  }
+}
+
+TEST(Threaded, MapPayloadSurvivesInjectedRestarts) {
+  ThreadedOptions options;
+  options.n = 4096;
+  options.workers = 6;
+  options.seed = 11;
+  options.failures_per_worker = 3.0;
+  options.map = [](Addr i) { return static_cast<Word>((i * i) & 0xffff); };
+  const ThreadedResult r = run_threaded_writeall(options);
+  ASSERT_TRUE(r.solved);
+  for (Addr i = 0; i < options.n; ++i) {
+    ASSERT_EQ(r.map_output[i], static_cast<Word>((i * i) & 0xffff)) << i;
+  }
+}
+
+TEST(Threaded, ConfigValidation) {
+  EXPECT_THROW(run_threaded_writeall({.n = 2, .workers = 4}), ConfigError);
+  EXPECT_THROW(run_threaded_writeall({.n = 8, .workers = 0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/pattern.hpp"
+
+namespace rfsp {
+namespace {
+
+TEST(FaultPattern, SizeAndCounts) {
+  FaultPattern p;
+  p.add(FaultTag::kFailure, 3, 0);
+  p.add(FaultTag::kRestart, 3, 2);
+  p.add(FaultTag::kFailure, 1, 2);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.failures(), 2u);
+  EXPECT_EQ(p.restarts(), 1u);
+}
+
+TEST(FaultPattern, RequiresTimeOrder) {
+  FaultPattern p;
+  p.add(FaultTag::kFailure, 0, 5);
+  EXPECT_THROW(p.add(FaultTag::kFailure, 1, 4), std::logic_error);
+}
+
+TEST(FaultPattern, AtReturnsSlotEvents) {
+  FaultPattern p;
+  p.add(FaultTag::kFailure, 0, 1);
+  p.add(FaultTag::kFailure, 1, 3);
+  p.add(FaultTag::kRestart, 0, 3);
+  p.add(FaultTag::kFailure, 2, 7);
+  const auto at3 = p.at(3);
+  ASSERT_EQ(at3.size(), 2u);
+  EXPECT_EQ(at3[0].pid, 1u);
+  EXPECT_EQ(at3[1].tag, FaultTag::kRestart);
+  EXPECT_EQ(p.at(0).size(), 0u);
+  EXPECT_EQ(p.at(7).size(), 1u);
+}
+
+TEST(FaultPattern, StreamFormat) {
+  std::ostringstream os;
+  os << FaultEvent{FaultTag::kRestart, 4, 9};
+  EXPECT_EQ(os.str(), "<restart, 4, 9>");
+}
+
+TEST(FaultPattern, TextRoundTrip) {
+  FaultPattern p;
+  p.add(FaultTag::kFailure, 0, 1);
+  p.add(FaultTag::kRestart, 0, 4);
+  p.add(FaultTag::kFailure, 9, 4);
+  const std::string text = pattern_to_text(p);
+  EXPECT_EQ(text, "F 0 1\nR 0 4\nF 9 4\n");
+
+  const FaultPattern q = pattern_from_text(text);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.events(), p.events());
+  EXPECT_EQ(q.failures(), 2u);
+  EXPECT_EQ(q.restarts(), 1u);
+}
+
+TEST(FaultPattern, TextParsingToleratesBlankLines) {
+  const FaultPattern p = pattern_from_text("\nF 1 2\n\nR 1 3\n\n");
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(FaultPattern, TextParsingRejectsGarbage) {
+  EXPECT_THROW((void)pattern_from_text("X 1 2\n"), std::logic_error);
+  EXPECT_THROW((void)pattern_from_text("F one 2\n"), std::logic_error);
+  EXPECT_THROW((void)pattern_from_text("F 1 9\nF 1 2\n"), std::logic_error);
+}
+
+TEST(FaultPattern, EmptyTextRoundTrip) {
+  EXPECT_TRUE(pattern_from_text("").empty());
+  EXPECT_EQ(pattern_to_text(FaultPattern{}), "");
+}
+
+}  // namespace
+}  // namespace rfsp

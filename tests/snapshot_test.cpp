@@ -1,0 +1,70 @@
+// Theorem 3.2: under the unit-cost whole-memory-read assumption, the
+// oblivious balanced-assignment algorithm matches the Ω(N log N) lower
+// bound of Theorem 3.1 — completed work Θ(N log N) against any adversary.
+#include <gtest/gtest.h>
+
+#include "fault/adversaries.hpp"
+#include "fault/halving.hpp"
+#include "pram/engine.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "writeall/runner.hpp"
+#include "writeall/snapshot.hpp"
+
+namespace rfsp {
+namespace {
+
+TEST(Snapshot, RequiresTheStrongModel) {
+  // Outside §3's model the snapshot read is a model violation.
+  const SnapshotWriteAll program({.n = 8, .p = 8});
+  NoFailures none;
+  Engine engine(program);  // snapshot mode off
+  EXPECT_THROW(engine.run(none), ModelViolation);
+}
+
+TEST(Snapshot, FaultFreeFinishesAlmostImmediately) {
+  // With P = N the oblivious assignment covers every unvisited cell in one
+  // cycle; one more cycle observes completion.
+  const Addr n = 512;
+  NoFailures none;
+  const auto out = run_writeall(WriteAllAlgo::kSnapshot,
+                                {.n = n, .p = static_cast<Pid>(n)}, none);
+  ASSERT_TRUE(out.solved);
+  EXPECT_LE(out.run.tally.slots, 3u);
+  EXPECT_LE(out.run.tally.completed_work, 3u * n);
+}
+
+TEST(Snapshot, FewerProcessorsStillSolve) {
+  for (Pid p : {Pid{1}, Pid{7}, Pid{64}}) {
+    NoFailures none;
+    const auto out =
+        run_writeall(WriteAllAlgo::kSnapshot, {.n = 200, .p = p}, none);
+    EXPECT_TRUE(out.solved) << "p=" << p;
+  }
+}
+
+TEST(Snapshot, SolvesUnderRandomRestarts) {
+  RandomAdversary adversary(5, {.fail_prob = 0.3, .restart_prob = 0.7});
+  const auto out =
+      run_writeall(WriteAllAlgo::kSnapshot, {.n = 256, .p = 256}, adversary);
+  EXPECT_TRUE(out.solved);
+}
+
+TEST(Snapshot, MatchesThetaNLogNUnderHalving) {
+  // The upper-bound side of Theorem 3.2 against the Theorem 3.1 adversary:
+  // S / (N log₂ N) must sit inside a constant band across sizes.
+  for (Addr n : {Addr{64}, Addr{256}, Addr{1024}}) {
+    HalvingAdversary adversary(0, n);
+    const auto out = run_writeall(WriteAllAlgo::kSnapshot,
+                                  {.n = n, .p = static_cast<Pid>(n)},
+                                  adversary);
+    ASSERT_TRUE(out.solved);
+    const double s = static_cast<double>(out.run.tally.completed_work);
+    const double nlogn = static_cast<double>(n) * floor_log2(n);
+    EXPECT_GE(s, 0.25 * nlogn) << "n=" << n;
+    EXPECT_LE(s, 4.0 * nlogn) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,0 +1,198 @@
+// The [SS 83] action/recovery construct: completed actions are never
+// re-entered after a restart; the in-progress action restarts from its
+// beginning; the stable counter survives any failure pattern.
+#include <gtest/gtest.h>
+
+#include "fault/adversaries.hpp"
+#include "pram/engine.hpp"
+#include "pram/stable.hpp"
+#include "test_util.hpp"
+#include "util/error.hpp"
+
+namespace rfsp {
+namespace {
+
+using testing::LambdaAdversary;
+
+// A simple action: write `count` cells starting at `base` (one per cycle),
+// values tagged by the action id so the test can see who wrote what.
+class RegionWriter final : public ProcessorState {
+ public:
+  RegionWriter(Addr base, Addr count, Word tag)
+      : base_(base), count_(count), tag_(tag) {}
+
+  bool cycle(CycleContext& ctx) override {
+    ctx.write(base_ + next_, tag_);
+    ++next_;
+    return next_ < count_;
+  }
+
+ private:
+  Addr base_;
+  Addr count_;
+  Word tag_;
+  Addr next_ = 0;
+};
+
+// A 3-action program over one processor: fill [8,12) with 1s, fill [12,16)
+// with 2s, then set cell 7 = 99. pc cell at 0.
+class PipelineProgram final : public Program {
+ public:
+  PipelineProgram()
+      : seq_({[](Pid) { return std::make_unique<RegionWriter>(8, 4, 1); },
+              [](Pid) { return std::make_unique<RegionWriter>(12, 4, 2); },
+              [](Pid) { return std::make_unique<RegionWriter>(7, 1, 99); }},
+             /*pc_base=*/0) {}
+
+  std::string_view name() const override { return "pipeline"; }
+  Pid processors() const override { return 1; }
+  Addr memory_size() const override { return 16; }
+  std::unique_ptr<ProcessorState> boot(Pid pid) const override {
+    return seq_.boot(pid);
+  }
+  bool goal(const SharedMemory& mem) const override {
+    return mem.read(7) == 99;
+  }
+
+  const ActionSequence& seq() const { return seq_; }
+
+ private:
+  ActionSequence seq_;
+};
+
+bool regions_correct(const SharedMemory& mem) {
+  for (Addr a = 8; a < 12; ++a) {
+    if (mem.read(a) != 1) return false;
+  }
+  for (Addr a = 12; a < 16; ++a) {
+    if (mem.read(a) != 2) return false;
+  }
+  return mem.read(7) == 99;
+}
+
+TEST(ActionSequence, FaultFreePipeline) {
+  const PipelineProgram program;
+  NoFailures none;
+  Engine engine(program);
+  const RunResult result = engine.run(none);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_TRUE(regions_correct(engine.memory()));
+  // Recovery read + (4 + checkpoint) + (4 + checkpoint) + 1: the engine's
+  // goal fires before the final checkpoint cycle runs.
+  EXPECT_EQ(result.tally.slots, 12u);
+}
+
+TEST(ActionSequence, RestartAtEverySlotStillCompletes) {
+  // Single-processor pipeline with a second always-on helper (so the
+  // liveness rule allows failing the pipeline processor at any slot).
+  for (Slot kill_at = 0; kill_at < 13; ++kill_at) {
+    class TwoProc final : public Program {
+     public:
+      TwoProc() : inner_() {}
+      std::string_view name() const override { return "pipeline+helper"; }
+      Pid processors() const override { return 2; }
+      Addr memory_size() const override { return 16; }
+      std::unique_ptr<ProcessorState> boot(Pid pid) const override {
+        if (pid == 0) return inner_.boot(0);
+        class Idle final : public ProcessorState {
+          bool cycle(CycleContext&) override { return true; }
+        };
+        return std::make_unique<Idle>();
+      }
+      bool goal(const SharedMemory& mem) const override {
+        return mem.read(7) == 99;
+      }
+
+     private:
+      PipelineProgram inner_;
+    };
+
+    TwoProc program;
+    LambdaAdversary adversary([&](const MachineView& view) {
+      FaultDecision d;
+      if (view.slot() == kill_at) {
+        d.fail_mid_cycle.push_back(0);
+        d.restart.push_back(0);
+      }
+      return d;
+    });
+    Engine engine(program);
+    const RunResult result = engine.run(adversary);
+    EXPECT_TRUE(result.goal_met) << "kill_at=" << kill_at;
+    EXPECT_TRUE(regions_correct(engine.memory())) << "kill_at=" << kill_at;
+  }
+}
+
+TEST(ActionSequence, CompletedActionsAreNeverReentered) {
+  // Observe every committed write: once the stable counter reaches k, no
+  // later write may target an earlier action's region.
+  class TwoProc final : public Program {
+   public:
+    std::string_view name() const override { return "pipeline+helper"; }
+    Pid processors() const override { return 2; }
+    Addr memory_size() const override { return 16; }
+    std::unique_ptr<ProcessorState> boot(Pid pid) const override {
+      if (pid == 0) return inner_.boot(0);
+      class Idle final : public ProcessorState {
+        bool cycle(CycleContext&) override { return true; }
+      };
+      return std::make_unique<Idle>();
+    }
+    bool goal(const SharedMemory& mem) const override {
+      return mem.read(7) == 99;
+    }
+
+   private:
+    PipelineProgram inner_;
+  };
+
+  TwoProc program;
+  bool violation = false;
+  std::uint64_t kills = 0;
+  LambdaAdversary adversary([&](const MachineView& view) {
+    const Word pc = view.memory().read(0);
+    const CycleTrace& trace = view.trace(0);
+    if (trace.started) {
+      for (const WriteOp& op : trace.writes) {
+        // Writes into region A ([8,12)) after action 0 checkpointed, or
+        // into B after action 1 checkpointed, would be re-entries.
+        if (pc >= 1 && op.addr >= 8 && op.addr < 12) violation = true;
+        if (pc >= 2 && op.addr >= 12 && op.addr < 16) violation = true;
+      }
+    }
+    // Periodic kills to force recoveries mid-action.
+    FaultDecision d;
+    if (view.slot() % 4 == 2 && trace.started && kills < 8) {
+      d.fail_mid_cycle.push_back(0);
+      d.restart.push_back(0);
+      ++kills;
+    }
+    return d;
+  });
+  Engine engine(program);
+  const RunResult result = engine.run(adversary);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_FALSE(violation);
+  EXPECT_EQ(kills, 8u);
+  EXPECT_TRUE(regions_correct(engine.memory()));
+}
+
+TEST(ActionSequence, RestartAfterCompletionHaltsImmediately) {
+  // Run the pipeline to completion (engine goal fires right after the last
+  // action's write, before its checkpoint): the counter records the last
+  // action as in-progress — a late restart re-runs only that idempotent
+  // final action and halts.
+  const PipelineProgram program;
+  NoFailures none;
+  Engine engine(program);
+  const RunResult result = engine.run(none);
+  ASSERT_TRUE(result.goal_met);
+  EXPECT_EQ(engine.memory().read(0), 2);  // actions 0 and 1 checkpointed
+}
+
+TEST(ActionSequence, EmptySequenceRejected) {
+  EXPECT_THROW(ActionSequence seq({}, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace rfsp

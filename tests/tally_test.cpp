@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "accounting/tally.hpp"
+
+namespace rfsp {
+namespace {
+
+TEST(WorkTally, DefaultsToZero) {
+  WorkTally t;
+  EXPECT_EQ(t.completed_work, 0u);
+  EXPECT_EQ(t.attempted_work, 0u);
+  EXPECT_EQ(t.pattern_size(), 0u);
+  EXPECT_EQ(t.slots, 0u);
+}
+
+TEST(WorkTally, PatternSizeCountsBothTags) {
+  WorkTally t;
+  t.failures = 3;
+  t.restarts = 2;
+  EXPECT_EQ(t.pattern_size(), 5u);
+}
+
+TEST(WorkTally, OverheadRatioDefinition) {
+  // σ = S / (|I| + |F|), Definition 2.3(ii).
+  WorkTally t;
+  t.completed_work = 120;
+  t.failures = 10;
+  t.restarts = 10;
+  EXPECT_DOUBLE_EQ(t.overhead_ratio(100), 1.0);
+  EXPECT_DOUBLE_EQ(t.overhead_ratio(40), 2.0);
+}
+
+TEST(WorkTally, OverheadRatioRequiresInput) {
+  WorkTally t;
+  EXPECT_THROW((void)t.overhead_ratio(0), std::logic_error);
+}
+
+TEST(WorkTally, OverheadImprovesWithLargePatterns) {
+  // Corollary 4.11's shape: with S fixed, σ decreases as |F| grows.
+  WorkTally small;
+  small.completed_work = 1000;
+  small.failures = 1;
+  WorkTally large = small;
+  large.failures = 100000;
+  EXPECT_GT(small.overhead_ratio(100), large.overhead_ratio(100));
+}
+
+TEST(WorkTally, MergeAccumulates) {
+  WorkTally a, b;
+  a.completed_work = 5;
+  a.attempted_work = 6;
+  a.failures = 1;
+  a.slots = 10;
+  a.peak_live = 3;
+  b.completed_work = 7;
+  b.attempted_work = 9;
+  b.restarts = 2;
+  b.slots = 4;
+  b.peak_live = 8;
+  a.merge(b);
+  EXPECT_EQ(a.completed_work, 12u);
+  EXPECT_EQ(a.attempted_work, 15u);
+  EXPECT_EQ(a.pattern_size(), 3u);
+  EXPECT_EQ(a.slots, 14u);
+  EXPECT_EQ(a.peak_live, 8u);
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,0 +1,74 @@
+// Shared helpers for the rfsp test suite: tiny configurable programs and
+// adversaries for exercising engine semantics in isolation.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fault/adversary.hpp"
+#include "pram/engine.hpp"
+#include "pram/program.hpp"
+
+namespace rfsp::testing {
+
+// A program whose per-processor behaviour is a lambda (pid, cycle#, ctx) ->
+// keep_running. Cycle numbers restart from 0 after a failure (boot builds a
+// fresh counter), which mirrors real private-state loss.
+class LambdaProgram final : public Program {
+ public:
+  using Body = std::function<bool(Pid, std::uint64_t, CycleContext&)>;
+
+  LambdaProgram(Pid processors, Addr memory, Body body,
+                std::function<bool(const SharedMemory&)> goal = nullptr)
+      : processors_(processors), memory_(memory), body_(std::move(body)),
+        goal_(std::move(goal)) {}
+
+  std::string_view name() const override { return "lambda"; }
+  Pid processors() const override { return processors_; }
+  Addr memory_size() const override { return memory_; }
+
+  std::unique_ptr<ProcessorState> boot(Pid pid) const override {
+    class State final : public ProcessorState {
+     public:
+      State(const LambdaProgram& program, Pid pid)
+          : program_(program), pid_(pid) {}
+      bool cycle(CycleContext& ctx) override {
+        return program_.body_(pid_, counter_++, ctx);
+      }
+
+     private:
+      const LambdaProgram& program_;
+      Pid pid_;
+      std::uint64_t counter_ = 0;
+    };
+    return std::make_unique<State>(*this, pid);
+  }
+
+  bool goal(const SharedMemory& mem) const override {
+    return goal_ ? goal_(mem) : false;
+  }
+
+ private:
+  Pid processors_;
+  Addr memory_;
+  Body body_;
+  std::function<bool(const SharedMemory&)> goal_;
+};
+
+// An adversary whose per-slot decision is a lambda over the MachineView.
+class LambdaAdversary final : public Adversary {
+ public:
+  using Decide = std::function<FaultDecision(const MachineView&)>;
+
+  explicit LambdaAdversary(Decide decide) : decide_(std::move(decide)) {}
+
+  std::string_view name() const override { return "lambda"; }
+  FaultDecision decide(const MachineView& view) override {
+    return decide_(view);
+  }
+
+ private:
+  Decide decide_;
+};
+
+}  // namespace rfsp::testing

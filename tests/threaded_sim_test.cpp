@@ -1,0 +1,113 @@
+// The threaded Theorem 4.1 executor: simulated PRAM programs on OS threads
+// must produce exactly the fault-free reference result, under injected
+// restarts and arbitrary scheduling. (Threads make runs nondeterministic
+// in *timing*; results must still be value-deterministic.)
+#include <gtest/gtest.h>
+
+#include "parallel/threaded.hpp"
+#include "parallel/threaded_sim.hpp"
+#include "programs/programs.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "writeall/layout.hpp"
+
+namespace rfsp {
+namespace {
+
+std::vector<Word> values(std::size_t n, std::uint64_t seed, Word bound) {
+  Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(bound));
+  return v;
+}
+
+TEST(ThreadedSim, PrefixSumMatchesReference) {
+  PrefixSumProgram program(values(128, 1, 1000));
+  const auto expected = reference_run(program);
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    const ThreadedSimResult r =
+        simulate_threaded(program, {.workers = workers, .seed = workers});
+    ASSERT_TRUE(r.completed) << "workers=" << workers;
+    EXPECT_EQ(r.memory, expected) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadedSim, BitonicSortWithInjectedRestarts) {
+  BitonicSortProgram program(values(64, 2, 5000));
+  const auto expected = reference_run(program);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ThreadedSimResult r = simulate_threaded(
+        program,
+        {.workers = 4, .seed = seed, .failures_per_worker = 2.0});
+    ASSERT_TRUE(r.completed) << "seed=" << seed;
+    EXPECT_EQ(r.memory, expected) << "seed=" << seed;
+    EXPECT_TRUE(program.verify(r.memory));
+  }
+}
+
+TEST(ThreadedSim, StencilMatchesReference) {
+  std::vector<Word> rod(50, 0);
+  rod.front() = 900;
+  rod.back() = 100;
+  StencilProgram program(rod, 30);
+  const ThreadedSimResult r =
+      simulate_threaded(program, {.workers = 6, .seed = 5});
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(program.verify(r.memory));
+  EXPECT_EQ(r.memory, reference_run(program));
+}
+
+TEST(ThreadedSim, RegistersSurviveWorkerDeaths) {
+  MatMulProgram program(values(64, 3, 9), values(64, 4, 9), 8);
+  const ThreadedSimResult r = simulate_threaded(
+      program, {.workers = 8, .seed = 7, .failures_per_worker = 3.0});
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(program.verify(r.memory));
+}
+
+TEST(ThreadedSim, ListRankingManySeeds) {
+  std::vector<Pid> next(40);
+  for (Pid j = 0; j + 1 < next.size(); ++j) next[j] = j + 1;
+  next.back() = static_cast<Pid>(next.size() - 1);
+  ListRankingProgram program(next);
+  const auto expected = reference_run(program);
+  for (std::uint64_t seed : {10u, 11u, 12u, 13u}) {
+    const ThreadedSimResult r = simulate_threaded(
+        program,
+        {.workers = 5, .seed = seed, .failures_per_worker = 1.5});
+    ASSERT_TRUE(r.completed) << seed;
+    EXPECT_EQ(r.memory, expected) << seed;
+  }
+}
+
+TEST(ThreadedSim, Validation) {
+  PrefixSumProgram small(values(4, 6, 10));
+  EXPECT_THROW(simulate_threaded(small, {.workers = 8}), ConfigError);
+  EXPECT_THROW(simulate_threaded(small, {.workers = 0}), ConfigError);
+  LeaderElectProgram arbitrary(8);
+  EXPECT_THROW(simulate_threaded(arbitrary, {.workers = 2}), ConfigError);
+}
+
+TEST(ThreadedSim, StoreIfNewerSemantics) {
+  AtomicMemory mem(2);
+  EXPECT_TRUE(mem.store_if_newer(0, stamped(3, 7)));
+  EXPECT_EQ(payload_of(mem.load(0), 3), 7);
+  // Same epoch: first write wins.
+  EXPECT_FALSE(mem.store_if_newer(0, stamped(3, 9)));
+  EXPECT_EQ(payload_of(mem.load(0), 3), 7);
+  // Older epoch bounces.
+  EXPECT_FALSE(mem.store_if_newer(0, stamped(2, 1)));
+  // Newer epoch lands.
+  EXPECT_TRUE(mem.store_if_newer(0, stamped(4, 1)));
+  EXPECT_EQ(payload_of(mem.load(0), 4), 1);
+}
+
+TEST(ThreadedSim, CompareExchange) {
+  AtomicMemory mem(1);
+  EXPECT_TRUE(mem.compare_exchange(0, 0, 5));
+  EXPECT_FALSE(mem.compare_exchange(0, 0, 9));
+  EXPECT_EQ(mem.load(0), 5);
+}
+
+}  // namespace
+}  // namespace rfsp

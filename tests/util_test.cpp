@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/fixed_vec.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "writeall/layout.hpp"
+
+namespace rfsp {
+namespace {
+
+// --- bits -------------------------------------------------------------------
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(0), 1u);
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1ull << 50), 50u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+}
+
+TEST(Bits, MsbBit) {
+  // 0b101 in a 3-bit word: bit 0 (MSB) = 1, bit 1 = 0, bit 2 = 1.
+  EXPECT_TRUE(msb_bit(0b101, 0, 3));
+  EXPECT_FALSE(msb_bit(0b101, 1, 3));
+  EXPECT_TRUE(msb_bit(0b101, 2, 3));
+}
+
+// --- FixedVec ----------------------------------------------------------------
+
+TEST(FixedVec, PushAndIterate) {
+  FixedVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);
+  v.push_back(8);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 8);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 15);
+}
+
+TEST(FixedVec, OverflowThrows) {
+  FixedVec<int, 2> v{1, 2};
+  EXPECT_THROW(v.push_back(3), std::logic_error);
+}
+
+TEST(FixedVec, OutOfRangeIndexThrows) {
+  FixedVec<int, 2> v{1};
+  EXPECT_THROW((void)v[1], std::logic_error);
+}
+
+TEST(FixedVec, Clear) {
+  FixedVec<int, 2> v{1, 2};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, Mix64SensitiveToAllArgs) {
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 2, 4));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 3, 3));
+  EXPECT_NE(mix64(1, 2, 3), mix64(2, 2, 3));
+}
+
+// --- stamped cells ------------------------------------------------------------
+
+TEST(Stamps, ZeroStampIsIdentityOnPayload) {
+  EXPECT_EQ(stamped(0, 1), 1);
+  EXPECT_EQ(payload_of(1, 0), 1);
+  EXPECT_EQ(payload_of(0, 0), 0);
+}
+
+TEST(Stamps, RoundTrip) {
+  const Word cell = stamped(7, 12345);
+  EXPECT_EQ(payload_of(cell, 7), 12345);
+}
+
+TEST(Stamps, StaleEpochReadsAsZero) {
+  const Word cell = stamped(7, 12345);
+  EXPECT_EQ(payload_of(cell, 8), 0);
+  EXPECT_EQ(payload_of(cell, 6), 0);
+  EXPECT_EQ(payload_of(cell, 0), 0);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "23"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Format, FixedAndInt) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1000), "1,000");
+  EXPECT_EQ(fmt_int(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace rfsp
