@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_threaded"
+  "../bench/bench_e10_threaded.pdb"
+  "CMakeFiles/bench_e10_threaded.dir/bench_e10_threaded.cpp.o"
+  "CMakeFiles/bench_e10_threaded.dir/bench_e10_threaded.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_threaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

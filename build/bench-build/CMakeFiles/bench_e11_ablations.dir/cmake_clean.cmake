@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_ablations"
+  "../bench/bench_e11_ablations.pdb"
+  "CMakeFiles/bench_e11_ablations.dir/bench_e11_ablations.cpp.o"
+  "CMakeFiles/bench_e11_ablations.dir/bench_e11_ablations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

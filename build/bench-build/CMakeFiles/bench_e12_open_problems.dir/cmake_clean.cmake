@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_open_problems"
+  "../bench/bench_e12_open_problems.pdb"
+  "CMakeFiles/bench_e12_open_problems.dir/bench_e12_open_problems.cpp.o"
+  "CMakeFiles/bench_e12_open_problems.dir/bench_e12_open_problems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_open_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_network"
+  "../bench/bench_e13_network.pdb"
+  "CMakeFiles/bench_e13_network.dir/bench_e13_network.cpp.o"
+  "CMakeFiles/bench_e13_network.dir/bench_e13_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

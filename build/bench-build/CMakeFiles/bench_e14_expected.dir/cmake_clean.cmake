@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e14_expected"
+  "../bench/bench_e14_expected.pdb"
+  "CMakeFiles/bench_e14_expected.dir/bench_e14_expected.cpp.o"
+  "CMakeFiles/bench_e14_expected.dir/bench_e14_expected.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_expected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_faultfree"
+  "../bench/bench_e1_faultfree.pdb"
+  "CMakeFiles/bench_e1_faultfree.dir/bench_e1_faultfree.cpp.o"
+  "CMakeFiles/bench_e1_faultfree.dir/bench_e1_faultfree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_faultfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_thrashing"
+  "../bench/bench_e2_thrashing.pdb"
+  "CMakeFiles/bench_e2_thrashing.dir/bench_e2_thrashing.cpp.o"
+  "CMakeFiles/bench_e2_thrashing.dir/bench_e2_thrashing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

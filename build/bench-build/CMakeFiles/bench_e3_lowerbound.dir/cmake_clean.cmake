@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_lowerbound"
+  "../bench/bench_e3_lowerbound.pdb"
+  "CMakeFiles/bench_e3_lowerbound.dir/bench_e3_lowerbound.cpp.o"
+  "CMakeFiles/bench_e3_lowerbound.dir/bench_e3_lowerbound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_algv"
+  "../bench/bench_e4_algv.pdb"
+  "CMakeFiles/bench_e4_algv.dir/bench_e4_algv.cpp.o"
+  "CMakeFiles/bench_e4_algv.dir/bench_e4_algv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_algv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

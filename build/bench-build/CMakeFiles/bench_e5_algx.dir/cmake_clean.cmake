@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_algx"
+  "../bench/bench_e5_algx.pdb"
+  "CMakeFiles/bench_e5_algx.dir/bench_e5_algx.cpp.o"
+  "CMakeFiles/bench_e5_algx.dir/bench_e5_algx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_algx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_combined"
+  "../bench/bench_e6_combined.pdb"
+  "CMakeFiles/bench_e6_combined.dir/bench_e6_combined.cpp.o"
+  "CMakeFiles/bench_e6_combined.dir/bench_e6_combined.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_stalking"
+  "../bench/bench_e9_stalking.pdb"
+  "CMakeFiles/bench_e9_stalking.dir/bench_e9_stalking.cpp.o"
+  "CMakeFiles/bench_e9_stalking.dir/bench_e9_stalking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_stalking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_map.dir/resilient_map.cpp.o"
+  "CMakeFiles/resilient_map.dir/resilient_map.cpp.o.d"
+  "resilient_map"
+  "resilient_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

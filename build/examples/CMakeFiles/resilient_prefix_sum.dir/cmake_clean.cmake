@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_prefix_sum.dir/resilient_prefix_sum.cpp.o"
+  "CMakeFiles/resilient_prefix_sum.dir/resilient_prefix_sum.cpp.o.d"
+  "resilient_prefix_sum"
+  "resilient_prefix_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_prefix_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writeall_cli.dir/writeall_cli.cpp.o"
+  "CMakeFiles/writeall_cli.dir/writeall_cli.cpp.o.d"
+  "writeall_cli"
+  "writeall_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writeall_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accounting/tally.cpp" "src/CMakeFiles/rfsp.dir/accounting/tally.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/accounting/tally.cpp.o.d"
+  "/root/repo/src/fault/adversaries.cpp" "src/CMakeFiles/rfsp.dir/fault/adversaries.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/fault/adversaries.cpp.o.d"
+  "/root/repo/src/fault/halving.cpp" "src/CMakeFiles/rfsp.dir/fault/halving.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/fault/halving.cpp.o.d"
+  "/root/repo/src/fault/iteration_killer.cpp" "src/CMakeFiles/rfsp.dir/fault/iteration_killer.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/fault/iteration_killer.cpp.o.d"
+  "/root/repo/src/fault/pattern.cpp" "src/CMakeFiles/rfsp.dir/fault/pattern.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/fault/pattern.cpp.o.d"
+  "/root/repo/src/fault/stalkers.cpp" "src/CMakeFiles/rfsp.dir/fault/stalkers.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/fault/stalkers.cpp.o.d"
+  "/root/repo/src/network/combining.cpp" "src/CMakeFiles/rfsp.dir/network/combining.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/network/combining.cpp.o.d"
+  "/root/repo/src/parallel/threaded.cpp" "src/CMakeFiles/rfsp.dir/parallel/threaded.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/parallel/threaded.cpp.o.d"
+  "/root/repo/src/parallel/threaded_sim.cpp" "src/CMakeFiles/rfsp.dir/parallel/threaded_sim.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/parallel/threaded_sim.cpp.o.d"
+  "/root/repo/src/pram/engine.cpp" "src/CMakeFiles/rfsp.dir/pram/engine.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/pram/engine.cpp.o.d"
+  "/root/repo/src/pram/memory.cpp" "src/CMakeFiles/rfsp.dir/pram/memory.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/pram/memory.cpp.o.d"
+  "/root/repo/src/pram/stable.cpp" "src/CMakeFiles/rfsp.dir/pram/stable.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/pram/stable.cpp.o.d"
+  "/root/repo/src/programs/bitonic.cpp" "src/CMakeFiles/rfsp.dir/programs/bitonic.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/bitonic.cpp.o.d"
+  "/root/repo/src/programs/chain.cpp" "src/CMakeFiles/rfsp.dir/programs/chain.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/chain.cpp.o.d"
+  "/root/repo/src/programs/components.cpp" "src/CMakeFiles/rfsp.dir/programs/components.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/components.cpp.o.d"
+  "/root/repo/src/programs/leader.cpp" "src/CMakeFiles/rfsp.dir/programs/leader.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/leader.cpp.o.d"
+  "/root/repo/src/programs/matmul.cpp" "src/CMakeFiles/rfsp.dir/programs/matmul.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/matmul.cpp.o.d"
+  "/root/repo/src/programs/pointer_jumping.cpp" "src/CMakeFiles/rfsp.dir/programs/pointer_jumping.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/pointer_jumping.cpp.o.d"
+  "/root/repo/src/programs/prefix_sum.cpp" "src/CMakeFiles/rfsp.dir/programs/prefix_sum.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/prefix_sum.cpp.o.d"
+  "/root/repo/src/programs/reduce_max.cpp" "src/CMakeFiles/rfsp.dir/programs/reduce_max.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/reduce_max.cpp.o.d"
+  "/root/repo/src/programs/sorting.cpp" "src/CMakeFiles/rfsp.dir/programs/sorting.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/sorting.cpp.o.d"
+  "/root/repo/src/programs/stencil.cpp" "src/CMakeFiles/rfsp.dir/programs/stencil.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/programs/stencil.cpp.o.d"
+  "/root/repo/src/sim/discipline.cpp" "src/CMakeFiles/rfsp.dir/sim/discipline.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/sim/discipline.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rfsp.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rfsp.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rfsp.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rfsp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/util/table.cpp.o.d"
+  "/root/repo/src/writeall/acc.cpp" "src/CMakeFiles/rfsp.dir/writeall/acc.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/acc.cpp.o.d"
+  "/root/repo/src/writeall/algv.cpp" "src/CMakeFiles/rfsp.dir/writeall/algv.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/algv.cpp.o.d"
+  "/root/repo/src/writeall/algw.cpp" "src/CMakeFiles/rfsp.dir/writeall/algw.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/algw.cpp.o.d"
+  "/root/repo/src/writeall/algx.cpp" "src/CMakeFiles/rfsp.dir/writeall/algx.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/algx.cpp.o.d"
+  "/root/repo/src/writeall/combined.cpp" "src/CMakeFiles/rfsp.dir/writeall/combined.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/combined.cpp.o.d"
+  "/root/repo/src/writeall/foreach.cpp" "src/CMakeFiles/rfsp.dir/writeall/foreach.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/foreach.cpp.o.d"
+  "/root/repo/src/writeall/layout.cpp" "src/CMakeFiles/rfsp.dir/writeall/layout.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/layout.cpp.o.d"
+  "/root/repo/src/writeall/runner.cpp" "src/CMakeFiles/rfsp.dir/writeall/runner.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/runner.cpp.o.d"
+  "/root/repo/src/writeall/snapshot.cpp" "src/CMakeFiles/rfsp.dir/writeall/snapshot.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/snapshot.cpp.o.d"
+  "/root/repo/src/writeall/trivial.cpp" "src/CMakeFiles/rfsp.dir/writeall/trivial.cpp.o" "gcc" "src/CMakeFiles/rfsp.dir/writeall/trivial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adversary_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/adversary_test.cpp.o.d"
+  "/root/repo/tests/algv_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/algv_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/algv_test.cpp.o.d"
+  "/root/repo/tests/algw_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/algw_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/algw_test.cpp.o.d"
+  "/root/repo/tests/algx_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/algx_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/algx_test.cpp.o.d"
+  "/root/repo/tests/bitsafe_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/bitsafe_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/bitsafe_test.cpp.o.d"
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/chaos_test.cpp.o.d"
+  "/root/repo/tests/combined_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/combined_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/combined_test.cpp.o.d"
+  "/root/repo/tests/discipline_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/discipline_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/discipline_test.cpp.o.d"
+  "/root/repo/tests/engine_edge_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/engine_edge_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/engine_edge_test.cpp.o.d"
+  "/root/repo/tests/exhaustive_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/exhaustive_test.cpp.o.d"
+  "/root/repo/tests/foreach_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/foreach_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/foreach_test.cpp.o.d"
+  "/root/repo/tests/golden_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/golden_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/golden_test.cpp.o.d"
+  "/root/repo/tests/layout_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/layout_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/lowerbound_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/lowerbound_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/lowerbound_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/pattern_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/pattern_test.cpp.o.d"
+  "/root/repo/tests/pram_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/pram_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/pram_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/snapshot_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/snapshot_test.cpp.o.d"
+  "/root/repo/tests/stable_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/stable_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/stable_test.cpp.o.d"
+  "/root/repo/tests/stalker_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/stalker_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/stalker_test.cpp.o.d"
+  "/root/repo/tests/tally_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/tally_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/tally_test.cpp.o.d"
+  "/root/repo/tests/threaded_sim_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/threaded_sim_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/threaded_sim_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/writeall_test.cpp" "tests/CMakeFiles/rfsp_tests.dir/writeall_test.cpp.o" "gcc" "tests/CMakeFiles/rfsp_tests.dir/writeall_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
