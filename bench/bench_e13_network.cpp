@@ -80,7 +80,9 @@ void print_real_traffic() {
   const Addr n = 512;
   const AlgX program({.n = n, .p = static_cast<Pid>(n)});
   TrafficRecorder recorder;
-  Engine engine(program);
+  EngineOptions options;
+  options.log_reads = true;  // the recorder replays read traffic
+  Engine engine(program, options);
   engine.run(recorder);
 
   Table table({"traffic", "slots routed", "mean ticks", "max ticks",

@@ -79,7 +79,9 @@ void BM_XStalker(benchmark::State& state) {
 
 int main(int argc, char** argv) {
   rfsp::print_report();
-  for (long n : {512L, 1024L, 2048L}) {
+  // n = 65536 is the headline perf row (BENCH_PR1.json); it runs minutes,
+  // so scripts/run_benches.sh only includes it when RFSP_BENCH_LARGE=1.
+  for (long n : {512L, 1024L, 2048L, 65536L}) {
     benchmark::RegisterBenchmark(("E5/X-stalked/n:" + std::to_string(n)).c_str(),
                                  rfsp::BM_XStalker)
         ->Args({n})

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Run every experiment bench (E1–E14) with --benchmark_format=json and
+# aggregate the results into BENCH_PR1.json, the first point of the perf
+# trajectory the ROADMAP tracks PR over PR.
+#
+# Usage:
+#   scripts/run_benches.sh [build-dir] [out-dir]
+#
+# Defaults: build-dir = build, out-dir = <build-dir>/bench-results.
+# The aggregate lands in <out-dir>/BENCH_PR1.json.
+#
+# Environment:
+#   RFSP_BENCH_LARGE=1   also run the minutes-long headline rows
+#                        (E5/X-stalked/n:65536). Off by default so the
+#                        whole suite stays a coffee-break run.
+#   RFSP_BENCH_FILTER=…  extra --benchmark_filter regex applied to every
+#                        binary (e.g. 'n:65536' for just the big rows).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+out_dir=${2:-"$build_dir/bench-results"}
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+
+# The minutes-long rows are opt-in; everything else always runs.
+exclude_large='E5/X-stalked/n:65536'
+for bench in "$build_dir"/bench/*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  args=(--benchmark_format=json --benchmark_out="$out_dir/$name.json"
+        --benchmark_out_format=json)
+  if [ -n "${RFSP_BENCH_FILTER:-}" ]; then
+    args+=(--benchmark_filter="${RFSP_BENCH_FILTER}")
+  elif [ "${RFSP_BENCH_LARGE:-0}" != 1 ]; then
+    args+=(--benchmark_filter="-${exclude_large}")
+  fi
+  echo "== $name"
+  # The binaries print their report tables to stdout; keep them visible but
+  # let the JSON go to the per-binary file.
+  "$bench" "${args[@]}" >/dev/null
+done
+
+python3 - "$out_dir" <<'PY'
+import json, pathlib, sys
+
+out_dir = pathlib.Path(sys.argv[1])
+runs = {}
+for path in sorted(out_dir.glob("bench_*.json")):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except json.JSONDecodeError:
+        # A filter that matches nothing leaves an empty out-file behind.
+        continue
+    runs[path.stem] = [
+        {
+            "name": b["name"],
+            "real_time_ms": round(b["real_time"] / 1e6, 3)
+            if b.get("time_unit") == "ns"
+            else b["real_time"],
+            **{
+                k: v
+                for k, v in b.items()
+                if k not in {"name", "real_time", "cpu_time", "time_unit",
+                             "run_name", "run_type", "repetitions",
+                             "repetition_index", "threads", "family_index",
+                             "per_family_instance_index", "iterations"}
+            },
+        }
+        for b in data.get("benchmarks", [])
+    ]
+
+aggregate = {
+    "schema": "rfsp-bench-v1",
+    "pr": 1,
+    "note": "Fresh run of every bench binary; see BENCH_PR1.json at the "
+            "repo root for the checked-in before/after engine comparison.",
+    "runs": runs,
+}
+out = out_dir / "BENCH_PR1.json"
+with open(out, "w") as f:
+    json.dump(aggregate, f, indent=2)
+    f.write("\n")
+print(f"aggregated {sum(len(v) for v in runs.values())} benchmark rows "
+      f"from {len(runs)} binaries -> {out}")
+PY

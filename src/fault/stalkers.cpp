@@ -1,5 +1,8 @@
 #include "fault/stalkers.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "util/error.hpp"
 
 namespace rfsp {
@@ -32,6 +35,7 @@ PostOrderStalker::PostOrderStalker(XLayout layout, Word stamp)
 FaultDecision PostOrderStalker::decide(const MachineView& view) {
   FaultDecision d;
   const Addr pos0 = committed_position(view, layout_, stamp_, 0);
+  const std::span<const Pid> started = view.started_pids();
 
   // Release failed processors only when processor 0 has *just* completed a
   // new leaf ("when processors reach a leaf, the failure/restart procedure
@@ -40,42 +44,53 @@ FaultDecision PostOrderStalker::decide(const MachineView& view) {
   const bool release = last_visited_ > last_release_mark_;
   if (release) last_release_mark_ = last_visited_;
 
-  for (Pid pid = 1; pid < view.processors(); ++pid) {
-    const CycleTrace& trace = view.trace(pid);
-    if (trace.started) {
-      const Addr pos = committed_position(view, layout_, stamp_, pid);
-      // Reached an unfinished leaf where processor 0 is not: stop there.
-      if (pos != pos0 && is_unfinished_leaf(view, layout_, stamp_, pos)) {
-        d.fail_mid_cycle.push_back(pid);
-      }
-    } else if (release && view.status(pid) == ProcStatus::kFailed &&
-               static_cast<Addr>(pid) < last_visited_) {
-      // Freed once processor 0 has passed this PID's initial territory.
-      d.restart.push_back(pid);
+  for (Pid pid : started) {
+    if (pid == 0) continue;
+    const Addr pos = committed_position(view, layout_, stamp_, pid);
+    // Reached an unfinished leaf where processor 0 is not: stop there.
+    if (pos != pos0 && is_unfinished_leaf(view, layout_, stamp_, pos)) {
+      d.fail_mid_cycle.push_back(pid);
     }
+  }
+
+  if (release && !failed_.empty()) {
+    // Freed once processor 0 has passed this PID's initial territory.
+    // failed_ is ascending, so the released PIDs are a prefix of it.
+    const auto cut = std::lower_bound(
+        failed_.begin(), failed_.end(), last_visited_,
+        [](Pid pid, Addr frontier) { return static_cast<Addr>(pid) < frontier; });
+    d.restart.assign(failed_.begin(), cut);
+    failed_.erase(failed_.begin(), cut);
   }
 
   // Track processor 0's post-order progress by the x-writes that will
   // commit this slot (processor 0 is never failed, so its writes always
-  // commit; other survivors' x-writes only advance the frontier).
-  for (Pid pid = 0; pid < view.processors(); ++pid) {
-    const CycleTrace& trace = view.trace(pid);
-    if (!trace.started) continue;
-    bool dies = false;
-    for (Pid victim : d.fail_mid_cycle) {
-      if (victim == pid) {
-        dies = true;
-        break;
-      }
+  // commit; other survivors' x-writes only advance the frontier). Both
+  // `started` and the victims are ascending, so one index skips the dead.
+  std::size_t victim = 0;
+  for (Pid pid : started) {
+    while (victim < d.fail_mid_cycle.size() &&
+           d.fail_mid_cycle[victim] < pid) {
+      ++victim;
     }
-    if (dies) continue;
-    for (const WriteOp& op : trace.writes) {
+    if (victim < d.fail_mid_cycle.size() && d.fail_mid_cycle[victim] == pid) {
+      continue;
+    }
+    for (const WriteOp& op : view.trace(pid).writes) {
       if (op.addr >= layout_.x_base && op.addr < layout_.x_base + layout_.n &&
           payload_of(op.value, stamp_) != 0) {
         last_visited_ =
             std::max(last_visited_, op.addr - layout_.x_base + 1);
       }
     }
+  }
+
+  // Fold this slot's victims into the failed set (both ascending).
+  if (!d.fail_mid_cycle.empty()) {
+    const std::size_t mid = failed_.size();
+    failed_.insert(failed_.end(), d.fail_mid_cycle.begin(),
+                   d.fail_mid_cycle.end());
+    std::inplace_merge(failed_.begin(), failed_.begin() + mid, failed_.end());
   }
   return d;
 }

@@ -41,6 +41,10 @@ class PostOrderStalker final : public Adversary {
   Word stamp_;
   Addr last_visited_ = 0;  // 1 + max element index whose x-write committed
   Addr last_release_mark_ = 0;  // last_visited_ value at the last release
+  // PIDs this adversary has failed and not yet restarted, ascending. Only
+  // decide() fails/restarts processors, so this mirrors the engine's
+  // kFailed set without an O(P) status scan per release slot.
+  std::vector<Pid> failed_;
 };
 
 // §5: the stalking adversary against the randomized ACC algorithm.

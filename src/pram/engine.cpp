@@ -1,36 +1,35 @@
 #include "pram/engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "util/error.hpp"
 
 namespace rfsp {
 
 // ---------------------------------------------------------------------------
-// CycleContext (declared in pram/program.hpp)
+// CycleContext (declared in pram/program.hpp; read/write are inline there)
 
 CycleContext::CycleContext(const SharedMemory& mem, CycleTrace& trace,
                            Slot slot, std::size_t read_budget,
-                           std::size_t write_budget, bool snapshot_allowed)
+                           std::size_t write_budget, bool snapshot_allowed,
+                           bool log_reads)
     : mem_(mem), trace_(trace), slot_(slot), read_budget_(read_budget),
-      write_budget_(write_budget), snapshot_allowed_(snapshot_allowed) {}
+      write_budget_(write_budget), snapshot_allowed_(snapshot_allowed),
+      log_reads_(log_reads) {}
 
-Word CycleContext::read(Addr a) {
-  if (trace_.used_snapshot || trace_.reads.size() >= read_budget_) {
-    throw ModelViolation("update cycle exceeded its read budget of " +
-                         std::to_string(read_budget_));
-  }
-  trace_.reads.push_back(a);
-  return mem_.read(a);
+void CycleContext::throw_read_budget() const {
+  throw ModelViolation("update cycle exceeded its read budget of " +
+                       std::to_string(read_budget_));
 }
 
-void CycleContext::write(Addr a, Word v) {
-  if (trace_.writes.size() >= write_budget_) {
-    throw ModelViolation("update cycle exceeded its write budget of " +
-                         std::to_string(write_budget_));
-  }
-  trace_.writes.push_back({a, v});
+void CycleContext::throw_write_budget() const {
+  throw ModelViolation("update cycle exceeded its write budget of " +
+                       std::to_string(write_budget_));
 }
 
 std::span<const Word> CycleContext::snapshot() {
@@ -39,12 +38,104 @@ std::span<const Word> CycleContext::snapshot() {
         "whole-memory snapshot read requires EngineOptions::unit_cost_snapshot"
         " (the strong model of §3)");
   }
-  if (trace_.used_snapshot || !trace_.reads.empty()) {
+  if (trace_.used_snapshot || reads_used_ != 0) {
     throw ModelViolation("snapshot consumes the entire read budget");
   }
   trace_.used_snapshot = true;
   return mem_.words();
 }
+
+// ---------------------------------------------------------------------------
+// CyclePool — deterministic parallel cycle execution
+//
+// The live PIDs of a slot are split into cycle_threads contiguous chunks;
+// each worker steps its chunk's update cycles into the per-PID trace and
+// state buffers (disjoint per PID; shared memory is read-only during the
+// cycle phase). The caller then commits in PID order as usual, so results
+// are bit-identical to sequential execution. A ModelViolation thrown by a
+// cycle is captured per chunk and rethrown for the lowest PID — the same
+// exception a sequential run would have surfaced first.
+
+struct Engine::CyclePool {
+  explicit CyclePool(Engine& engine, unsigned threads) : engine_(engine) {
+    errors_.resize(threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker(i); });
+    }
+  }
+
+  ~CyclePool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  // Run one slot's cycles over `pids`; throws the lowest-PID ModelViolation
+  // if any chunk failed.
+  void run_slot(std::span<const Pid> pids) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      pids_ = pids;
+      for (auto& e : errors_) e = nullptr;
+      pending_ = workers_.size();
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_done_.wait(lock, [this] { return pending_ == 0; });
+    }
+    for (const std::exception_ptr& e : errors_) {  // chunk == PID order
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void worker(unsigned index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::span<const Pid> pids;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_start_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        pids = pids_;
+      }
+      const std::size_t w = workers_.size();
+      const std::size_t chunk = (pids.size() + w - 1) / w;
+      const std::size_t begin = std::min(pids.size(), index * chunk);
+      const std::size_t end = std::min(pids.size(), begin + chunk);
+      try {
+        LaneLog& lane = engine_.lanes_[index];
+        for (std::size_t i = begin; i < end; ++i) {
+          engine_.cycle_one(pids[i], lane);
+        }
+      } catch (...) {
+        errors_[index] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  Engine& engine_;
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_start_, cv_done_;
+  std::span<const Pid> pids_;
+  std::vector<std::exception_ptr> errors_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -60,39 +151,100 @@ Engine::Engine(const Program& program, EngineOptions options)
   states_.resize(p);
   status_.assign(p, ProcStatus::kLive);
   traces_.resize(p);
-  mark_.assign(p, 0);
-  for (Pid pid = 0; pid < p; ++pid) states_[pid] = program_.boot(pid);
+  mark_stamp_.assign(p, 0);
+  mark_val_.assign(p, 0);
+  cell_stamp_.assign(mem_.size(), 0);
+  live_pids_.resize(p);
+  for (Pid pid = 0; pid < p; ++pid) {
+    states_[pid] = program_.boot(pid);
+    live_pids_[pid] = pid;
+  }
   program_.init_memory(mem_);
+
+  if (options_.incremental_goal) {
+    if (const std::optional<GoalCells> cells = program_.goal_cells()) {
+      RFSP_CHECK_MSG(cells->base + cells->count <= mem_.size(),
+                     "goal_cells range beyond shared memory");
+      incremental_goal_ = true;
+      goal_base_ = cells->base;
+      goal_end_ = cells->base + cells->count;
+      for (Addr a = goal_base_; a < goal_end_; ++a) {
+        if (!program_.goal_cell_done(a, mem_.read(a))) ++goal_unsat_;
+      }
+    }
+  }
+  log_reads_ = options_.log_reads ||
+               (options_.model == CrcwModel::kErew &&
+                options_.detect_read_conflicts);
+  if (options_.cycle_threads > 1) {
+    lanes_.resize(options_.cycle_threads);
+    pool_ = std::make_unique<CyclePool>(*this, options_.cycle_threads);
+  } else {
+    lanes_.resize(1);
+  }
+}
+
+Engine::~Engine() = default;
+
+std::optional<std::uint64_t> Engine::goal_unsatisfied() const {
+  if (!incremental_goal_) return std::nullopt;
+  return goal_unsat_;
+}
+
+bool Engine::goal_met() const {
+  return incremental_goal_ ? goal_unsat_ == 0 : program_.goal(mem_);
+}
+
+void Engine::commit_cell(Addr a, Word v) {
+  if (incremental_goal_ && a >= goal_base_ && a < goal_end_) {
+    const bool was = program_.goal_cell_done(a, mem_.read(a));
+    const bool now = program_.goal_cell_done(a, v);
+    if (was != now) goal_unsat_ += was ? 1 : std::uint64_t(-1);
+  }
+  mem_.write(a, v);
+}
+
+void Engine::cycle_one(Pid pid, LaneLog& lane) {
+  CycleTrace& trace = traces_[pid];
+  trace.reset_for_cycle(log_reads_);
+  CycleContext ctx(mem_, trace, slot_, options_.read_budget,
+                   options_.write_budget, options_.unit_cost_snapshot,
+                   log_reads_);
+  const bool halting = !states_[pid]->cycle(ctx);
+  trace.halting = halting;
+  // Mirror the (still cache-hot) outcome into the lane's compact log.
+  if (halting) lane.halts.push_back(pid);
+  for (const WriteOp& op : trace.writes) {
+    lane.writes.push_back({op.addr, op.value, pid});
+  }
 }
 
 std::size_t Engine::run_cycles() {
-  std::size_t started = 0;
-  const Pid p = program_.processors();
-  for (Pid pid = 0; pid < p; ++pid) {
-    CycleTrace& trace = traces_[pid];
-    trace = CycleTrace{};
-    if (status_[pid] != ProcStatus::kLive) continue;
-    trace.started = true;
-    ++started;
-    CycleContext ctx(mem_, trace, slot_, options_.read_budget,
-                     options_.write_budget, options_.unit_cost_snapshot);
-    trace.halting = !states_[pid]->cycle(ctx);
+  for (LaneLog& lane : lanes_) {
+    lane.writes.clear();
+    lane.halts.clear();
   }
-  return started;
+  if (pool_ && live_pids_.size() > 1) {
+    pool_->run_slot(live_pids_);
+  } else {
+    for (Pid pid : live_pids_) cycle_one(pid, lanes_.front());
+  }
+  return live_pids_.size();
 }
 
-void Engine::validate_decision(const FaultDecision& d) const {
+void Engine::validate_decision(const FaultDecision& d) {
+  if (d.empty()) return;
   const Pid p = program_.processors();
-  std::fill(mark_.begin(), mark_.end(), 0);
+  ++mark_epoch_;
   auto check_fail_target = [&](Pid pid) {
     if (pid >= p) throw AdversaryViolation("failure of out-of-range PID");
     if (status_[pid] != ProcStatus::kLive || !traces_[pid].started) {
       throw AdversaryViolation("failure of a processor that is not live");
     }
-    if (mark_[pid] != 0) {
+    if (mark_get(pid) != 0) {
       throw AdversaryViolation("duplicate failure of one processor");
     }
-    mark_[pid] = 1;
+    mark_set(pid, 1);
   };
   for (Pid pid : d.fail_mid_cycle) check_fail_target(pid);
   for (Pid pid : d.fail_after_cycle) check_fail_target(pid);
@@ -115,79 +267,72 @@ void Engine::validate_decision(const FaultDecision& d) const {
     // Restart targets must be failed, *after* this decision's failures take
     // effect (an adversary may fail and immediately restart a processor —
     // the restarted state runs from the next slot).
-    if (status_[pid] != ProcStatus::kFailed && mark_[pid] != 1) {
+    if (status_[pid] != ProcStatus::kFailed && mark_get(pid) != 1) {
       throw AdversaryViolation("restart of a processor that is not failed");
     }
-    if (mark_[pid] == 2) {
+    if (mark_get(pid) == 2) {
       throw AdversaryViolation("duplicate restart of one processor");
     }
-    if (mark_[pid] == 0) mark_[pid] = 2;  // plain restart of an old failure
-    else mark_[pid] = 2;                  // fail-then-restart this slot
+    mark_set(pid, 2);  // restart of an old failure, or fail-then-restart
   }
 }
 
 void Engine::commit_writes(const FaultDecision& d) {
   // Mark mid-cycle casualties: their buffered writes are discarded. Torn
   // processors are casualties too, but parts of their writes land below.
-  std::fill(mark_.begin(), mark_.end(), 0);
-  for (Pid pid : d.fail_mid_cycle) mark_[pid] = 1;
-  for (const TornWrite& tear : d.torn) mark_[tear.pid] = 1;
-
-  write_buf_.clear();
-  const Pid p = program_.processors();
-  for (Pid pid = 0; pid < p; ++pid) {
-    const CycleTrace& trace = traces_[pid];
-    if (!trace.started || mark_[pid] != 0) continue;
-    for (const WriteOp& op : trace.writes) {
-      write_buf_.push_back({op.addr, op.value, pid});
-    }
+  // Fault-free slots (the common case) skip the marking entirely.
+  const bool casualties = !d.fail_mid_cycle.empty() || !d.torn.empty();
+  if (casualties) {
+    ++mark_epoch_;
+    for (Pid pid : d.fail_mid_cycle) mark_set(pid, 1);
+    for (const TornWrite& tear : d.torn) mark_set(tear.pid, 1);
   }
-  std::sort(write_buf_.begin(), write_buf_.end(),
-            [](const PendingWrite& a, const PendingWrite& b) {
-              return a.addr != b.addr ? a.addr < b.addr : a.pid < b.pid;
-            });
 
-  for (std::size_t i = 0; i < write_buf_.size();) {
-    std::size_t j = i + 1;
-    while (j < write_buf_.size() && write_buf_[j].addr == write_buf_[i].addr) {
-      ++j;
-    }
-    const std::size_t writers = j - i;
-    if (writers > 1) {
+  // One pass over the slot's buffered writes in PID order — the lanes'
+  // compact logs, filled while each trace was cache-hot, so no trace is
+  // re-streamed here. A cell's stamp says whether it was already written
+  // this slot: the first (lowest-PID) writer commits; later writers are
+  // CRCW conflicts resolved against the committed value. This replaces the
+  // seed's gather + O(W log W) sort with O(W) work and no allocation.
+  if (++commit_epoch_ == 0) {  // u32 wrap: invalidate all stale stamps
+    std::fill(cell_stamp_.begin(), cell_stamp_.end(), 0u);
+    commit_epoch_ = 1;
+  }
+  for (const LaneLog& lane : lanes_) {
+    for (const PendingWrite& op : lane.writes) {
+      if (casualties && mark_get(op.pid) != 0) continue;
+      if (cell_stamp_[op.addr] != commit_epoch_) {
+        cell_stamp_[op.addr] = commit_epoch_;
+        commit_cell(op.addr, op.value);
+        continue;
+      }
       switch (options_.model) {
         case CrcwModel::kCommon:
-          for (std::size_t k = i + 1; k < j; ++k) {
-            if (write_buf_[k].value != write_buf_[i].value) {
-              throw ModelViolation(
-                  "COMMON CRCW conflict: concurrent writers disagree at cell " +
-                  std::to_string(write_buf_[i].addr));
-            }
+          if (op.value != mem_.read(op.addr)) {
+            throw ModelViolation(
+                "COMMON CRCW conflict: concurrent writers disagree at cell " +
+                std::to_string(op.addr));
           }
           break;
         case CrcwModel::kWeak:
-          for (std::size_t k = i; k < j; ++k) {
-            if (write_buf_[k].value != options_.weak_value) {
-              throw ModelViolation(
-                  "WEAK CRCW conflict: concurrent write of a non-designated "
-                  "value at cell " +
-                  std::to_string(write_buf_[i].addr));
-            }
+          if (op.value != options_.weak_value ||
+              mem_.read(op.addr) != options_.weak_value) {
+            throw ModelViolation(
+                "WEAK CRCW conflict: concurrent write of a non-designated "
+                "value at cell " +
+                std::to_string(op.addr));
           }
           break;
         case CrcwModel::kArbitrary:
         case CrcwModel::kPriority:
-          // Deterministic resolution: lowest PID wins (sorted order).
+          // Deterministic resolution: the lowest PID already won.
           break;
         case CrcwModel::kCrew:
         case CrcwModel::kErew:
           throw ModelViolation("concurrent write under CREW/EREW at cell " +
-                               std::to_string(write_buf_[i].addr));
+                               std::to_string(op.addr));
       }
     }
-    // Under COMMON all values agree; under ARBITRARY/PRIORITY the first
-    // (lowest-PID) entry is the winner.
-    mem_.write(write_buf_[i].addr, write_buf_[i].value);
-    i = j;
   }
 
   // Torn writes (bit-atomic mode): the casualty's earlier writes land
@@ -197,24 +342,84 @@ void Engine::commit_writes(const FaultDecision& d) {
   for (const TornWrite& tear : d.torn) {
     const CycleTrace& trace = traces_[tear.pid];
     for (std::size_t w = 0; w < tear.write_index; ++w) {
-      mem_.write(trace.writes[w].addr, trace.writes[w].value);
+      commit_cell(trace.writes[w].addr, trace.writes[w].value);
     }
     const WriteOp& op = trace.writes[tear.write_index];
     const Word mask = (Word{1} << tear.keep_bits) - 1;
     const Word old = mem_.read(op.addr);
-    mem_.write(op.addr, (old & ~mask) | (op.value & mask));
+    commit_cell(op.addr, (old & ~mask) | (op.value & mask));
   }
 }
 
 void Engine::check_read_conflicts() const {
-  std::vector<Addr> reads;
-  for (const CycleTrace& trace : traces_) {
-    if (!trace.started) continue;
-    for (const Addr a : trace.reads) reads.push_back(a);
+  read_buf_.clear();
+  for (const Pid pid : live_pids_) {
+    for (const Addr a : traces_[pid].reads) read_buf_.push_back(a);
   }
-  std::sort(reads.begin(), reads.end());
-  if (std::adjacent_find(reads.begin(), reads.end()) != reads.end()) {
+  std::sort(read_buf_.begin(), read_buf_.end());
+  if (std::adjacent_find(read_buf_.begin(), read_buf_.end()) !=
+      read_buf_.end()) {
     throw ModelViolation("concurrent read under EREW");
+  }
+}
+
+void Engine::apply_transitions(const FaultDecision& d) {
+  // State transitions: failures destroy private memory (§2.1 point 3) ...
+  ++mark_epoch_;  // marks collect this slot's departures from the live set
+  auto fail = [&](Pid pid) {
+    states_[pid].reset();
+    status_[pid] = ProcStatus::kFailed;
+    traces_[pid].clear();
+    mark_set(pid, 1);
+  };
+  for (Pid pid : d.fail_mid_cycle) fail(pid);
+  for (Pid pid : d.fail_after_cycle) fail(pid);
+  for (const TornWrite& tear : d.torn) fail(tear.pid);
+
+  // ... voluntary halts take effect only for cycles that completed (the
+  // halters come from the lanes' cycle-phase logs; a processor the
+  // adversary failed this slot is no longer kLive and stays failed, i.e.
+  // restartable) ...
+  std::size_t halts = 0;
+  for (const LaneLog& lane : lanes_) {
+    for (Pid pid : lane.halts) {
+      if (status_[pid] == ProcStatus::kLive) {
+        states_[pid].reset();
+        status_[pid] = ProcStatus::kHalted;
+        traces_[pid].clear();
+        mark_set(pid, 1);
+        ++halts;
+        ++tally_.halted;
+      }
+    }
+  }
+
+  // ... and restarts boot fresh states, live from the next slot.
+  for (Pid pid : d.restart) {
+    states_[pid] = program_.boot(pid);
+    status_[pid] = ProcStatus::kLive;
+  }
+
+  // Fold the transitions into the sorted live list: drop the marked
+  // departures, merge in the restarts. O(live + |decision| log |decision|),
+  // and zero when the slot had no failures, restarts, or halts.
+  const bool departures = halts > 0 || !d.fail_mid_cycle.empty() ||
+                          !d.fail_after_cycle.empty() || !d.torn.empty();
+  if (departures) {
+    live_pids_.erase(std::remove_if(live_pids_.begin(), live_pids_.end(),
+                                    [&](Pid pid) {
+                                      return mark_get(pid) != 0;
+                                    }),
+                     live_pids_.end());
+  }
+  if (!d.restart.empty()) {
+    restart_buf_.assign(d.restart.begin(), d.restart.end());
+    std::sort(restart_buf_.begin(), restart_buf_.end());
+    const std::size_t mid = live_pids_.size();
+    live_pids_.insert(live_pids_.end(), restart_buf_.begin(),
+                      restart_buf_.end());
+    std::inplace_merge(live_pids_.begin(), live_pids_.begin() + mid,
+                       live_pids_.end());
   }
 }
 
@@ -223,10 +428,9 @@ RunResult Engine::run(Adversary& adversary) {
   ran_ = true;
 
   RunResult result;
-  const Pid p = program_.processors();
 
   for (;;) {
-    if (program_.goal(mem_)) {
+    if (goal_met()) {
       result.goal_met = true;
       break;
     }
@@ -257,7 +461,7 @@ RunResult Engine::run(Adversary& adversary) {
     }
     tally_.peak_live = std::max<std::uint64_t>(tally_.peak_live, started);
 
-    const MachineView view(mem_, slot_, status_, traces_, tally_);
+    const MachineView view(mem_, slot_, status_, traces_, live_pids_, tally_);
     FaultDecision decision = adversary.decide(view);
     validate_decision(decision);
 
@@ -304,33 +508,7 @@ RunResult Engine::run(Adversary& adversary) {
       }
     }
 
-    // State transitions: failures destroy private memory (§2.1 point 3) ...
-    for (Pid pid : decision.fail_mid_cycle) {
-      states_[pid].reset();
-      status_[pid] = ProcStatus::kFailed;
-    }
-    for (Pid pid : decision.fail_after_cycle) {
-      states_[pid].reset();
-      status_[pid] = ProcStatus::kFailed;
-    }
-    for (const TornWrite& tear : decision.torn) {
-      states_[tear.pid].reset();
-      status_[tear.pid] = ProcStatus::kFailed;
-    }
-    // ... voluntary halts take effect only for cycles that completed ...
-    for (Pid pid = 0; pid < p; ++pid) {
-      if (traces_[pid].started && traces_[pid].halting &&
-          status_[pid] == ProcStatus::kLive) {
-        states_[pid].reset();
-        status_[pid] = ProcStatus::kHalted;
-        ++tally_.halted;
-      }
-    }
-    // ... and restarts boot fresh states, live from the next slot.
-    for (Pid pid : decision.restart) {
-      states_[pid] = program_.boot(pid);
-      status_[pid] = ProcStatus::kLive;
-    }
+    apply_transitions(decision);
 
     ++slot_;
     ++tally_.slots;

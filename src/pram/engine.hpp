@@ -59,12 +59,35 @@ struct EngineOptions {
   // Slot-granularity approximation; off by default.
   bool detect_read_conflicts = false;
 
+  // Record each cycle's read addresses into CycleTrace::reads, where the
+  // adversary can inspect them through MachineView. Off by default: the
+  // write log (which decides what commits) is always kept, but per-read
+  // logging is pure overhead on the hot path unless an adversary or tool
+  // wants the addresses. Forced on internally when the EREW read-conflict
+  // check needs the log (model == kErew && detect_read_conflicts).
+  bool log_reads = false;
+
   // Record the full failure pattern (can be large) into RunResult::pattern.
   bool record_pattern = false;
 
   // Record the per-slot time series (started/completed/failures/restarts)
   // into RunResult::trace — one SlotStats per slot.
   bool record_trace = false;
+
+  // Use Program::goal_cells (when the program provides it) to track goal
+  // satisfaction incrementally at commit time instead of calling
+  // Program::goal once per slot. Results are identical by the goal_cells
+  // contract; this switch exists for ablation and regression testing.
+  bool incremental_goal = true;
+
+  // Deterministic parallel cycle execution: values > 1 step the live
+  // processors' update cycles across a pool of this many OS threads.
+  // Each processor's reads/writes/trace stay in per-processor buffers and
+  // commits replay in PID order, so the RunResult (tally, memory, trace,
+  // pattern) is bit-identical to a sequential (cycle_threads <= 1) run.
+  // Only the cycle execution parallelizes; the adversary and the commit
+  // remain on the calling thread.
+  unsigned cycle_threads = 1;
 
   // Safety valve: stop after this many slots even if the goal is unmet
   // (e.g. algorithm W genuinely need not terminate under restarts).
@@ -83,6 +106,10 @@ struct RunResult {
 class Engine {
  public:
   Engine(const Program& program, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   // Execute the program to completion under `adversary`. Single-shot:
   // calling run twice on one Engine is a ConfigError.
@@ -93,11 +120,51 @@ class Engine {
 
   const EngineOptions& options() const { return options_; }
 
+  // Diagnostics: the incremental unsatisfied-cell count, present iff the
+  // program opted in via Program::goal_cells and the engine is using it.
+  // After a run it must equal the number of goal cells failing
+  // Program::goal_cell_done — the regression tests assert exactly that.
+  std::optional<std::uint64_t> goal_unsatisfied() const;
+
  private:
+  // One execution lane's compact per-slot log, filled during the cycle
+  // phase while each processor's freshly written trace is still cache-hot:
+  // every buffered write (tagged with its writer) plus the would-be
+  // halters, both in PID order within a lane. Sequential runs use one lane;
+  // with cycle_threads > 1 each worker owns the lane of its (contiguous,
+  // ascending) PID chunk, so reading the lanes in index order replays exact
+  // sequential PID order. commit_writes and apply_transitions consume these
+  // instead of re-streaming every live processor's trace per slot.
+  struct PendingWrite {
+    Addr addr;
+    Word value;
+    Pid pid;
+  };
+  struct LaneLog {
+    std::vector<PendingWrite> writes;
+    std::vector<Pid> halts;
+  };
+
   std::size_t run_cycles();  // step 1; returns # of started cycles
-  void validate_decision(const FaultDecision& d) const;
+  // One processor's update cycle into traces_ plus `lane`'s compact log.
+  void cycle_one(Pid pid, LaneLog& lane);
+  void validate_decision(const FaultDecision& d);
   void commit_writes(const FaultDecision& d);
   void check_read_conflicts() const;
+  bool goal_met() const;
+  void commit_cell(Addr a, Word v);  // mem_ write + goal-counter upkeep
+  void apply_transitions(const FaultDecision& d);
+
+  // Per-PID scratch marks with O(1) bulk reset: a mark is valid only when
+  // its stamp matches the current epoch, so "clear all marks" is one
+  // counter increment instead of an O(P) fill.
+  std::uint8_t mark_get(Pid pid) const {
+    return mark_stamp_[pid] == mark_epoch_ ? mark_val_[pid] : 0;
+  }
+  void mark_set(Pid pid, std::uint8_t v) {
+    mark_stamp_[pid] = mark_epoch_;
+    mark_val_[pid] = v;
+  }
 
   const Program& program_;
   EngineOptions options_;
@@ -109,14 +176,44 @@ class Engine {
   Slot slot_ = 0;
   bool ran_ = false;
 
-  // Scratch reused across slots to avoid per-slot allocation.
-  struct PendingWrite {
-    Addr addr;
-    Word value;
-    Pid pid;
-  };
-  mutable std::vector<PendingWrite> write_buf_;
-  mutable std::vector<std::uint8_t> mark_;
+  bool log_reads_ = false;  // options_.log_reads, or forced by EREW check
+
+  // Live PIDs in ascending order — the processors that run a cycle each
+  // slot. Maintained incrementally across fail/halt/restart transitions so
+  // the slot loop costs O(live + |decision|), not O(P).
+  std::vector<Pid> live_pids_;
+  std::vector<Pid> restart_buf_;  // scratch for sorted re-insertion
+
+  // Epoch-stamped per-PID marks (validate/commit/transition scratch).
+  std::vector<std::uint64_t> mark_stamp_;
+  std::vector<std::uint8_t> mark_val_;
+  std::uint64_t mark_epoch_ = 0;
+
+  // Epoch-stamped per-cell "written this slot" stamps: commit-time CRCW
+  // conflict detection in O(#writes) with no sort. A cell's first writer
+  // in PID order is the committed one (== lowest PID, the deterministic
+  // ARBITRARY/PRIORITY winner and the COMMON/WEAK reference value).
+  // 32-bit on purpose — the stamps are random-access per buffered write, so
+  // halving them halves that cache footprint; commit_writes zero-fills the
+  // array on the (once per 2^32 slots) epoch wrap-around.
+  std::vector<std::uint32_t> cell_stamp_;
+  std::uint32_t commit_epoch_ = 0;
+
+  // Per-lane cycle-phase logs (see LaneLog): one for sequential runs,
+  // cycle_threads of them when the pool is active.
+  std::vector<LaneLog> lanes_;
+
+  // Incremental goal state (Program::goal_cells opt-in).
+  bool incremental_goal_ = false;
+  Addr goal_base_ = 0;
+  Addr goal_end_ = 0;
+  std::uint64_t goal_unsat_ = 0;
+
+  // Worker pool for EngineOptions::cycle_threads > 1; lazily constructed.
+  struct CyclePool;
+  std::unique_ptr<CyclePool> pool_;
+
+  mutable std::vector<Addr> read_buf_;  // EREW read-conflict scratch
 };
 
 // Convenience: build an engine, run `program` under `adversary`, verify

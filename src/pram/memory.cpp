@@ -8,15 +8,4 @@ SharedMemory::SharedMemory(Addr size) : cells_(size, Word{0}) {
   RFSP_CHECK_MSG(size > 0, "shared memory must have at least one cell");
 }
 
-Word SharedMemory::read(Addr a) const {
-  RFSP_CHECK_MSG(a < cells_.size(), "shared-memory read out of bounds");
-  return cells_[a];
-}
-
-void SharedMemory::write(Addr a, Word v) {
-  RFSP_CHECK_MSG(a < cells_.size(), "shared-memory write out of bounds");
-  cells_[a] = v;
-  ++committed_writes_;
-}
-
 }  // namespace rfsp

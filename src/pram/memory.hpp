@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "pram/types.hpp"
+#include "util/error.hpp"
 
 namespace rfsp {
 
@@ -19,8 +20,17 @@ class SharedMemory {
   // init_memory, the rest of memory contains zeroes).
   explicit SharedMemory(Addr size);
 
-  Word read(Addr a) const;
-  void write(Addr a, Word v);
+  // Inline: these two sit on the per-cycle hot path of the engine (every
+  // ctx.read / commit goes through them), so they must not cost a call.
+  Word read(Addr a) const {
+    RFSP_CHECK_MSG(a < cells_.size(), "shared-memory read out of bounds");
+    return cells_[a];
+  }
+  void write(Addr a, Word v) {
+    RFSP_CHECK_MSG(a < cells_.size(), "shared-memory write out of bounds");
+    cells_[a] = v;
+    ++committed_writes_;
+  }
 
   Addr size() const { return static_cast<Addr>(cells_.size()); }
 

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 
 #include "pram/memory.hpp"
 #include "pram/types.hpp"
+#include "util/error.hpp"
 #include "util/fixed_vec.hpp"
 
 namespace rfsp {
@@ -33,8 +35,34 @@ struct CycleTrace {
   bool started = false;        // processor was live and ran `cycle` this slot
   bool halting = false;        // `cycle` returned false (wants to halt)
   bool used_snapshot = false;  // consumed the unit-cost whole-memory read
-  FixedVec<Addr, kReadCap> reads;
+  // The write log drives the commit, so it is always kept and lives first:
+  // the flags plus the write log are the only bytes the engine touches per
+  // processor per slot unless read logging is on (EngineOptions::log_reads),
+  // which keeps the per-slot footprint to the struct's hot prefix.
   FixedVec<WriteOp, kWriteCap> writes;
+  FixedVec<Addr, kReadCap> reads;  // empty unless read logging is enabled
+
+  // Ready the record for a fresh cycle. The engine calls this once per
+  // processor per slot, so it only touches flags and inline-array sizes —
+  // never the (stale) array payloads, which `started`/sizes already gate.
+  // With read logging off the read log is never pushed to, so its (empty)
+  // size is not even reset.
+  void reset_for_cycle(bool log_reads) {
+    started = true;
+    halting = false;
+    used_snapshot = false;
+    writes.clear();
+    if (log_reads) reads.clear();
+  }
+
+  // Forget the record entirely (processor left the live set).
+  void clear() {
+    started = false;
+    halting = false;
+    used_snapshot = false;
+    writes.clear();
+    reads.clear();
+  }
 };
 
 // Per-cycle facilities handed to ProcessorState::cycle by the engine.
@@ -42,14 +70,27 @@ class CycleContext {
  public:
   CycleContext(const SharedMemory& mem, CycleTrace& trace, Slot slot,
                std::size_t read_budget, std::size_t write_budget,
-               bool snapshot_allowed);
+               bool snapshot_allowed, bool log_reads);
 
   // Read one shared cell. Throws ModelViolation past the read budget.
-  Word read(Addr a);
+  // Inline: one of the two per-operation hot paths of the whole engine.
+  // The budget is enforced by a context-local counter so that the shared
+  // trace's read log is only written when logging is on.
+  Word read(Addr a) {
+    if (trace_.used_snapshot || reads_used_ >= read_budget_) {
+      throw_read_budget();
+    }
+    ++reads_used_;
+    if (log_reads_) trace_.reads.push_back(a);
+    return mem_.read(a);
+  }
 
   // Buffer one shared write (committed at slot end iff the cycle completes).
   // Throws ModelViolation past the write budget.
-  void write(Addr a, Word v);
+  void write(Addr a, Word v) {
+    if (trace_.writes.size() >= write_budget_) throw_write_budget();
+    trace_.writes.push_back({a, v});
+  }
 
   // Unit-cost whole-memory read — the strong model of §3 (Theorems 3.1/3.2)
   // only; throws ModelViolation unless the engine enabled snapshot mode.
@@ -59,16 +100,21 @@ class CycleContext {
   // The global synchronous clock (slot index). See file comment.
   Slot slot() const { return slot_; }
 
-  std::size_t reads_used() const { return trace_.reads.size(); }
+  std::size_t reads_used() const { return reads_used_; }
   std::size_t writes_used() const { return trace_.writes.size(); }
 
  private:
+  [[noreturn]] void throw_read_budget() const;
+  [[noreturn]] void throw_write_budget() const;
+
   const SharedMemory& mem_;
   CycleTrace& trace_;
   Slot slot_;
   std::size_t read_budget_;
   std::size_t write_budget_;
+  std::size_t reads_used_ = 0;
   bool snapshot_allowed_;
+  bool log_reads_;
 };
 
 // The private side of one processor: its registers and control state.
@@ -79,6 +125,19 @@ class ProcessorState {
   // Perform one update cycle. Return false to halt voluntarily (the final
   // cycle still counts as completed work if the adversary lets it finish).
   virtual bool cycle(CycleContext& ctx) = 0;
+};
+
+// Opt-in declaration that a Program's goal() is exactly the conjunction
+// "Program::goal_cell_done(a, mem[a]) holds for every cell a in
+// [base, base + count)". Programs exposing this through Program::goal_cells
+// let the engine maintain an unsatisfied-cell counter incrementally at
+// write-commit time, turning the once-per-slot goal check into an O(1)
+// counter test instead of a goal() call (which for array goals is an O(N)
+// scan). The progress-tree algorithms expose their single root/done cell
+// the same way, removing even the virtual goal() call from the slot loop.
+struct GoalCells {
+  Addr base = 0;
+  Addr count = 0;
 };
 
 // A complete P-processor program: memory layout, boot states, goal.
@@ -104,7 +163,23 @@ class Program {
 
   // Cheap success predicate, checked once per slot (typically one cell:
   // a progress-tree root or a done flag). The engine stops when it holds.
+  // Remains the authoritative definition — goal_cells below is a
+  // performance hook that must agree with it.
   virtual bool goal(const SharedMemory& mem) const = 0;
+
+  // Incremental-goal opt-in (see GoalCells). Return the cell range whose
+  // per-cell satisfaction — as judged by goal_cell_done — is equivalent to
+  // goal(); return nullopt (the default) to keep per-slot goal() scans.
+  // Contract: for every reachable memory state,
+  //   goal(mem) == all_of(cells, goal_cell_done(a, mem[a])).
+  virtual std::optional<GoalCells> goal_cells() const { return std::nullopt; }
+
+  // Per-cell satisfaction predicate for the goal_cells range. Must be a
+  // pure function of (address, value). Default: non-zero cell value.
+  virtual bool goal_cell_done(Addr addr, Word value) const {
+    (void)addr;
+    return value != 0;
+  }
 };
 
 }  // namespace rfsp

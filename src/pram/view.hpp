@@ -33,20 +33,27 @@ class MachineView {
   // writes — the "processor assignment" that lower-bound adversaries use.
   const CycleTrace& trace(Pid pid) const { return traces_[pid]; }
 
+  // PIDs that ran an update cycle this slot (exactly the live set), in
+  // ascending order. Lets adversaries avoid an O(P) scan per slot when few
+  // processors are live; trace(pid).started == true iff pid is listed here.
+  std::span<const Pid> started_pids() const { return started_; }
+
   const WorkTally& tally() const { return tally_; }
 
  private:
   friend class Engine;
   MachineView(const SharedMemory& mem, Slot slot,
               std::span<const ProcStatus> status,
-              std::span<const CycleTrace> traces, const WorkTally& tally)
+              std::span<const CycleTrace> traces, std::span<const Pid> started,
+              const WorkTally& tally)
       : mem_(mem), slot_(slot), status_(status), traces_(traces),
-        tally_(tally) {}
+        started_(started), tally_(tally) {}
 
   const SharedMemory& mem_;
   Slot slot_;
   std::span<const ProcStatus> status_;
   std::span<const CycleTrace> traces_;
+  std::span<const Pid> started_;
   const WorkTally& tally_;
 };
 

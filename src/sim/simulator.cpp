@@ -269,6 +269,14 @@ class SimulationProgram final : public Program {
     return phase_pass(mem.read(layout_.phase)) >= final_pass_;
   }
 
+  // goal() is the phase word reaching the final pass.
+  std::optional<GoalCells> goal_cells() const override {
+    return GoalCells{layout_.phase, 1};
+  }
+  bool goal_cell_done(Addr, Word value) const override {
+    return phase_pass(value) >= final_pass_;
+  }
+
   const SimProgram& sim() const { return sim_; }
   const SimLayout& layout() const { return layout_; }
   SimInner inner() const { return inner_; }
@@ -326,20 +334,24 @@ class SimProcState final : public ProcessorState {
     }
     const CombinedLayout& wa =
         compute ? layout.wa_compute : layout.wa_commit;
-    WriteAllConfig config;
-    config.n = layout.n;
-    config.p = layout.p;
-    config.stamp = stamp;
-    config.task = task_.get();
+    // The inner states keep a reference to their config, so it must outlive
+    // them: store this pass's config in the member the new state will bind
+    // to. The outgoing inner_ (destroyed by the assignments below) never
+    // touches its config during destruction.
+    config_ = WriteAllConfig{};
+    config_.n = layout.n;
+    config_.p = layout.p;
+    config_.stamp = stamp;
+    config_.task = task_.get();
     switch (outer_.inner()) {
       case SimInner::kCombinedVX:
-        inner_ = std::make_unique<CombinedState>(config, wa, pid_, start);
+        inner_ = std::make_unique<CombinedState>(config_, wa, pid_, start);
         break;
       case SimInner::kX:
-        inner_ = std::make_unique<AlgXState>(config, wa.x, pid_, wa.done);
+        inner_ = std::make_unique<AlgXState>(config_, wa.x, pid_, wa.done);
         break;
       case SimInner::kV:
-        inner_ = std::make_unique<AlgVState>(config, wa.v, pid_, wa.done,
+        inner_ = std::make_unique<AlgVState>(config_, wa.v, pid_, wa.done,
                                              start, /*clock_stride=*/1);
         break;
     }
@@ -351,6 +363,7 @@ class SimProcState final : public ProcessorState {
   std::uint64_t pass_ = ~std::uint64_t{0};
   std::optional<std::uint64_t> advance_from_;
   std::unique_ptr<TaskSpec> task_;
+  WriteAllConfig config_;  // referent of inner_'s config reference
   std::unique_ptr<ProcessorState> inner_;
 };
 

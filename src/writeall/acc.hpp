@@ -26,6 +26,14 @@ class AccWriteAll final : public WriteAllProgram {
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.x_base; }
 
+  // goal() is the root of the d heap turning non-zero (as algorithm X).
+  std::optional<GoalCells> goal_cells() const override {
+    return GoalCells{layout_.d(1), 1};
+  }
+  bool goal_cell_done(Addr, Word value) const override {
+    return payload_of(value, config_.stamp) != 0;
+  }
+
   const XLayout& layout() const { return layout_; }
 
  private:

@@ -35,14 +35,6 @@ VLayout::VLayout(Addr x_base_in, Addr aux_base, Addr n_in, Pid p_in,
   iteration = phase_alloc + phase_work + phase_update;
 }
 
-Addr VLayout::real_leaves_below(Addr node) const {
-  const unsigned dv = floor_log2(node);
-  const Addr first = (node << (depth - dv)) - leaves;
-  const Addr count = Addr{1} << (depth - dv);
-  if (first >= leaves_real) return 0;
-  return std::min(first + count, leaves_real) - first;
-}
-
 // ---------------------------------------------------------------------------
 // AlgVState
 

@@ -22,9 +22,11 @@
 // (Theorem 4.3).
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
+#include "util/bits.hpp"
 #include "writeall/layout.hpp"
 
 namespace rfsp {
@@ -55,8 +57,15 @@ struct VLayout {
 
   Addr leaf_node(Addr leaf) const { return leaves + leaf; }
 
-  // Number of non-padding leaves below `node`.
-  Addr real_leaves_below(Addr node) const;
+  // Number of non-padding leaves below `node`. Inline: evaluated for both
+  // children at every interior step of the allocation/update phases.
+  Addr real_leaves_below(Addr node) const {
+    const unsigned dv = floor_log2(node);
+    const Addr first = (node << (depth - dv)) - leaves;
+    const Addr count = Addr{1} << (depth - dv);
+    if (first >= leaves_real) return 0;
+    return std::min(first + count, leaves_real) - first;
+  }
 };
 
 // Per-processor state machine; embeddable (stamp + done flag + start slot +
@@ -74,8 +83,10 @@ class AlgVState final : public ProcessorState {
   void work_cycle(CycleContext& ctx, Slot j);
   bool update_cycle(CycleContext& ctx, Slot m);
 
-  WriteAllConfig config_;
-  VLayout layout_;
+  // By reference: see AlgXState — the referents (program or simulator pass
+  // block) outlive every state they boot.
+  const WriteAllConfig& config_;
+  const VLayout& layout_;
   Pid pid_;
   std::optional<Addr> done_flag_;
   Slot start_slot_;
@@ -100,6 +111,15 @@ class AlgV final : public WriteAllProgram {
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.x_base; }
+
+  // goal() is the progress-tree root reaching the leaf total.
+  std::optional<GoalCells> goal_cells() const override {
+    return GoalCells{layout_.c(1), 1};
+  }
+  bool goal_cell_done(Addr, Word value) const override {
+    return payload_of(value, config_.stamp) ==
+           static_cast<Word>(layout_.leaves_real);
+  }
 
   const VLayout& layout() const { return layout_; }
 

@@ -63,8 +63,9 @@ class AlgWState final : public ProcessorState {
   void work_cycle(CycleContext& ctx, Slot j);
   bool update_cycle(CycleContext& ctx, Slot m);
 
-  WriteAllConfig config_;
-  WLayout layout_;
+  // By reference: see AlgXState — the referents outlive the states.
+  const WriteAllConfig& config_;
+  const WLayout& layout_;
   Pid pid_;
 
   bool waiting_ = true;
@@ -84,6 +85,16 @@ class AlgW final : public WriteAllProgram {
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.progress.x_base; }
+
+  // goal() is the progress-tree root reaching the leaf total (stamp 0: W
+  // is standalone-only).
+  std::optional<GoalCells> goal_cells() const override {
+    return GoalCells{layout_.progress.c(1), 1};
+  }
+  bool goal_cell_done(Addr, Word value) const override {
+    return payload_of(value, 0) ==
+           static_cast<Word>(layout_.progress.leaves_real);
+  }
 
   const WLayout& layout() const { return layout_; }
 

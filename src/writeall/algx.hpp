@@ -101,8 +101,12 @@ class AlgXState final : public ProcessorState {
   bool navigate(CycleContext& ctx);
   Word initial_position(Slot slot) const;
 
-  WriteAllConfig config_;
-  XLayout layout_;
+  // References into the owning Program (or the simulator's per-pass block):
+  // states are booted once per processor per restart, so copying the config
+  // and layout into every state would dominate restart-heavy runs and bloat
+  // the per-processor footprint the engine streams over each slot.
+  const WriteAllConfig& config_;
+  const XLayout& layout_;
   Pid pid_;
   std::optional<Addr> done_flag_;
   Descent descent_;
@@ -124,6 +128,14 @@ class AlgX final : public WriteAllProgram {
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.x_base; }
+
+  // goal() is the root of the d heap turning non-zero.
+  std::optional<GoalCells> goal_cells() const override {
+    return GoalCells{layout_.d(1), 1};
+  }
+  bool goal_cell_done(Addr, Word value) const override {
+    return payload_of(value, config_.stamp) != 0;
+  }
 
   const XLayout& layout() const { return layout_; }
 

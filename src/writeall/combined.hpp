@@ -58,6 +58,14 @@ class CombinedVX final : public WriteAllProgram {
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.v.x_base; }
 
+  // goal() is the shared completion flag turning non-zero.
+  std::optional<GoalCells> goal_cells() const override {
+    return GoalCells{layout_.done, 1};
+  }
+  bool goal_cell_done(Addr, Word value) const override {
+    return payload_of(value, config_.stamp) != 0;
+  }
+
   const CombinedLayout& layout() const { return layout_; }
 
  private:

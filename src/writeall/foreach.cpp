@@ -31,6 +31,15 @@ class ForEachProgram final : public Program {
     return inner_->goal(mem);
   }
 
+  // Delegate the incremental-goal hook too: the wrapper's goal IS the
+  // inner algorithm's goal.
+  std::optional<GoalCells> goal_cells() const override {
+    return inner_->goal_cells();
+  }
+  bool goal_cell_done(Addr addr, Word value) const override {
+    return inner_->goal_cell_done(addr, value);
+  }
+
   const WriteAllProgram& inner() const { return *inner_; }
 
  private:

@@ -17,10 +17,6 @@ void WriteAllConfig::validate() const {
   }
 }
 
-unsigned WriteAllConfig::task_cycles() const {
-  return task == nullptr ? 0u : task->cycles_per_task();
-}
-
 WriteAllProgram::WriteAllProgram(WriteAllConfig config)
     : config_(config) {
   config_.validate();

@@ -85,7 +85,10 @@ struct WriteAllConfig {
 
   void validate() const;  // throws ConfigError
 
-  unsigned task_cycles() const;  // 0 when task == nullptr
+  // 0 when task == nullptr. Inline: called once per work cycle.
+  unsigned task_cycles() const {
+    return task == nullptr ? 0u : task->cycles_per_task();
+  }
 };
 
 // --- Base class for the algorithm Programs ----------------------------------
@@ -103,6 +106,21 @@ class WriteAllProgram : public Program {
 
   // Whether the Write-All postcondition holds (every x payload non-zero).
   bool solved(const SharedMemory& mem) const;
+
+  // Incremental-goal default for the algorithms whose goal() IS the array
+  // postcondition (trivial, sequential, snapshot): the goal range is
+  // x[0..n), a cell is done when its epoch-stamped payload is non-zero.
+  // The progress-tree algorithms override both methods with their single
+  // root/done cell — their goal() is that cell, not the array (the tree
+  // root fills strictly after the last x write, so the two predicates flip
+  // at different slots and must not be mixed up).
+  std::optional<GoalCells> goal_cells() const override {
+    return GoalCells{x_base(), config_.n};
+  }
+  bool goal_cell_done(Addr addr, Word value) const override {
+    (void)addr;
+    return payload_of(value, config_.stamp) != 0;
+  }
 
  protected:
   WriteAllConfig config_;

@@ -9,7 +9,7 @@ namespace {
 class SnapshotState final : public ProcessorState {
  public:
   SnapshotState(const WriteAllConfig& config, Pid pid)
-      : config_(config), pid_(pid) {}
+      : config_(config), pid_(pid) {}  // config owned by the booting program
 
   bool cycle(CycleContext& ctx) override {
     const std::span<const Word> mem = ctx.snapshot();
@@ -39,7 +39,7 @@ class SnapshotState final : public ProcessorState {
   }
 
  private:
-  WriteAllConfig config_;
+  const WriteAllConfig& config_;
   Pid pid_;
 };
 

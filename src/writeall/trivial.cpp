@@ -33,7 +33,7 @@ class TrivialState final : public ProcessorState {
   }
 
  private:
-  WriteAllConfig config_;
+  const WriteAllConfig& config_;  // owned by the booting program
   Addr next_;
 };
 
@@ -48,7 +48,7 @@ class SequentialState final : public ProcessorState {
   }
 
  private:
-  WriteAllConfig config_;
+  const WriteAllConfig& config_;  // owned by the booting program
   Addr next_ = 0;
 };
 

@@ -109,7 +109,9 @@ TEST(EngineEdge, AdversaryViewSeesReadAddresses) {
     for (const Addr a : view.trace(0).reads) seen.push_back(a);
     return FaultDecision{};
   });
-  Engine engine(program);
+  EngineOptions options;
+  options.log_reads = true;  // read addresses are logged only on request
+  Engine engine(program, options);
   const RunResult result = engine.run(adversary);
   EXPECT_TRUE(result.deadlock);  // the lone processor halted, goal unmet
   ASSERT_EQ(seen.size(), 2u);

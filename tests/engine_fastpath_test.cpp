@@ -1,0 +1,271 @@
+// Fast-path regression tests: the engine's zero-allocation slot loop,
+// incremental goal tracking, and deterministic parallel cycle execution
+// must be observationally identical to the straightforward implementations
+// they replaced.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "fault/adversaries.hpp"
+#include "pram/engine.hpp"
+#include "util/error.hpp"
+#include "writeall/runner.hpp"
+
+#include "test_util.hpp"
+
+namespace rfsp {
+namespace {
+
+using testing::LambdaAdversary;
+using testing::LambdaProgram;
+
+struct FullOutcome {
+  RunResult run;
+  std::vector<Word> memory;
+  std::optional<std::uint64_t> goal_unsat;
+};
+
+FullOutcome run_full(WriteAllAlgo algo, const WriteAllConfig& config,
+                     Adversary& adversary, EngineOptions options) {
+  options.record_trace = true;
+  options.record_pattern = true;
+  const auto program = make_writeall(algo, config);
+  Engine engine(*program, options);
+  FullOutcome out;
+  out.run = engine.run(adversary);
+  const auto words = engine.memory().words();
+  out.memory.assign(words.begin(), words.end());
+  out.goal_unsat = engine.goal_unsatisfied();
+  return out;
+}
+
+void expect_identical(const FullOutcome& a, const FullOutcome& b,
+                      const char* what) {
+  EXPECT_EQ(a.run.goal_met, b.run.goal_met) << what;
+  EXPECT_EQ(a.run.deadlock, b.run.deadlock) << what;
+  EXPECT_EQ(a.run.slot_limit, b.run.slot_limit) << what;
+
+  const WorkTally& ta = a.run.tally;
+  const WorkTally& tb = b.run.tally;
+  EXPECT_EQ(ta.completed_work, tb.completed_work) << what;
+  EXPECT_EQ(ta.attempted_work, tb.attempted_work) << what;
+  EXPECT_EQ(ta.failures, tb.failures) << what;
+  EXPECT_EQ(ta.restarts, tb.restarts) << what;
+  EXPECT_EQ(ta.slots, tb.slots) << what;
+  EXPECT_EQ(ta.halted, tb.halted) << what;
+  EXPECT_EQ(ta.peak_live, tb.peak_live) << what;
+
+  EXPECT_EQ(a.memory, b.memory) << what;
+
+  ASSERT_EQ(a.run.trace.size(), b.run.trace.size()) << what;
+  for (std::size_t i = 0; i < a.run.trace.size(); ++i) {
+    EXPECT_EQ(a.run.trace[i].started, b.run.trace[i].started) << what;
+    EXPECT_EQ(a.run.trace[i].completed, b.run.trace[i].completed) << what;
+    EXPECT_EQ(a.run.trace[i].failures, b.run.trace[i].failures) << what;
+    EXPECT_EQ(a.run.trace[i].restarts, b.run.trace[i].restarts) << what;
+  }
+  EXPECT_EQ(a.run.pattern.events().size(), b.run.pattern.events().size())
+      << what;
+}
+
+// --- Deterministic parallel cycle execution --------------------------------
+
+// cycle_threads > 1 must produce bit-identical results to a sequential run:
+// same tallies, same per-slot trace, same final memory — under failures and
+// restarts, not just fault-free.
+TEST(ParallelCycles, BitIdenticalToSequentialUnderRandomFaults) {
+  for (const WriteAllAlgo algo :
+       {WriteAllAlgo::kW, WriteAllAlgo::kV, WriteAllAlgo::kX}) {
+    for (const std::uint64_t seed : {11u, 23u}) {
+      const WriteAllConfig config{.n = 192, .p = 48};
+      RandomAdversaryOptions rand_opt;
+      rand_opt.fail_prob = 0.08;
+      rand_opt.restart_prob = 0.6;
+      // Algorithm W is fail-stop: it need not terminate under restarts.
+      if (algo == WriteAllAlgo::kW) rand_opt.restart_prob = 0;
+      rand_opt.max_pattern = 400;
+
+      RandomAdversary sequential_adv(seed, rand_opt);
+      EngineOptions sequential_opt;
+      const FullOutcome sequential =
+          run_full(algo, config, sequential_adv, sequential_opt);
+
+      RandomAdversary parallel_adv(seed, rand_opt);
+      EngineOptions parallel_opt;
+      parallel_opt.cycle_threads = 4;
+      const FullOutcome parallel =
+          run_full(algo, config, parallel_adv, parallel_opt);
+
+      EXPECT_TRUE(sequential.run.goal_met);
+      expect_identical(sequential, parallel,
+                       std::string(to_string(algo)).c_str());
+    }
+  }
+}
+
+TEST(ParallelCycles, BitIdenticalFaultFree) {
+  for (const WriteAllAlgo algo :
+       {WriteAllAlgo::kW, WriteAllAlgo::kV, WriteAllAlgo::kX}) {
+    const WriteAllConfig config{.n = 256, .p = 256};
+    NoFailures none_a;
+    EngineOptions sequential_opt;
+    const FullOutcome sequential = run_full(algo, config, none_a,
+                                            sequential_opt);
+    NoFailures none_b;
+    EngineOptions parallel_opt;
+    parallel_opt.cycle_threads = 4;
+    const FullOutcome parallel = run_full(algo, config, none_b, parallel_opt);
+    EXPECT_TRUE(sequential.run.goal_met);
+    expect_identical(sequential, parallel,
+                     std::string(to_string(algo)).c_str());
+  }
+}
+
+// A ModelViolation thrown by some processor's cycle must surface no matter
+// which worker ran it.
+TEST(ParallelCycles, ModelViolationPropagates) {
+  LambdaProgram program(8, 16, [](Pid, std::uint64_t, CycleContext& ctx) {
+    for (Addr a = 0; a < 16; ++a) (void)ctx.read(a);  // blows the budget
+    return true;
+  });
+  NoFailures none;
+  EngineOptions options;
+  options.cycle_threads = 4;
+  Engine engine(program, options);
+  EXPECT_THROW(engine.run(none), ModelViolation);
+}
+
+// --- Incremental goal tracking ---------------------------------------------
+
+// The counter-based goal must agree with per-slot full goal() scans for the
+// whole observable result, and the final counter must match a recount.
+TEST(IncrementalGoal, MatchesFullScanUnderRandomFaults) {
+  for (const WriteAllAlgo algo :
+       {WriteAllAlgo::kTrivial, WriteAllAlgo::kV, WriteAllAlgo::kX}) {
+    const WriteAllConfig config{.n = 160, .p = 32};
+    RandomAdversaryOptions rand_opt;
+    rand_opt.fail_prob = algo == WriteAllAlgo::kTrivial ? 0.0 : 0.05;
+    rand_opt.max_pattern = 200;
+
+    RandomAdversary incremental_adv(7, rand_opt);
+    EngineOptions incremental_opt;  // incremental_goal defaults to true
+    const FullOutcome incremental =
+        run_full(algo, config, incremental_adv, incremental_opt);
+
+    RandomAdversary fullscan_adv(7, rand_opt);
+    EngineOptions fullscan_opt;
+    fullscan_opt.incremental_goal = false;
+    const FullOutcome fullscan =
+        run_full(algo, config, fullscan_adv, fullscan_opt);
+
+    expect_identical(incremental, fullscan,
+                     std::string(to_string(algo)).c_str());
+    // The opt-in is active (these programs expose goal_cells) and the run
+    // finished: no goal cell may be left unsatisfied.
+    ASSERT_TRUE(incremental.goal_unsat.has_value());
+    EXPECT_EQ(*incremental.goal_unsat, 0u);
+    // The ablation run keeps scanning and reports no counter.
+    EXPECT_FALSE(fullscan.goal_unsat.has_value());
+  }
+}
+
+TEST(IncrementalGoal, AbsentWithoutProgramOptIn) {
+  // LambdaProgram does not override goal_cells, so the engine falls back to
+  // full goal() scans even with the option enabled.
+  LambdaProgram program(
+      2, 8,
+      [](Pid pid, std::uint64_t, CycleContext& ctx) {
+        ctx.write(static_cast<Addr>(pid), 1);
+        return false;
+      },
+      [](const SharedMemory& mem) {
+        return mem.read(0) != 0 && mem.read(1) != 0;
+      });
+  NoFailures none;
+  Engine engine(program);
+  const RunResult result = engine.run(none);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_FALSE(engine.goal_unsatisfied().has_value());
+}
+
+// Torn writes land through the same commit path; the counter must stay in
+// lock step with the memory contents, slot by slot and at the end.
+TEST(IncrementalGoal, CounterAgreesWithRecountAfterTornWrites) {
+  const WriteAllConfig config{.n = 24, .p = 4};
+  const auto program = make_writeall(WriteAllAlgo::kTrivial, config);
+  const GoalCells cells = program->goal_cells().value();
+
+  EngineOptions options;
+  options.bit_atomic_writes = true;
+  Engine engine(*program, options);
+
+  const auto recount = [&](const SharedMemory& mem) {
+    std::uint64_t unsat = 0;
+    for (Addr a = cells.base; a < cells.base + cells.count; ++a) {
+      if (!program->goal_cell_done(a, mem.read(a))) ++unsat;
+    }
+    return unsat;
+  };
+
+  // Tear one write of every live non-zero processor early on (keep_bits = 0
+  // leaves the cell's previous contents, so the visit marker is lost even
+  // though the commit path ran), restart the casualties, and verify the
+  // engine's counter against a brute-force recount on every decision.
+  LambdaAdversary adversary([&](const MachineView& view) {
+    const auto counted = engine.goal_unsatisfied();
+    EXPECT_TRUE(counted.has_value());
+    EXPECT_EQ(*counted, recount(view.memory()));
+
+    FaultDecision d;
+    if (view.slot() == 1) {
+      for (Pid pid = 1; pid < view.processors(); ++pid) {
+        if (view.trace(pid).started && !view.trace(pid).writes.empty()) {
+          d.torn.push_back({.pid = pid, .write_index = 0, .keep_bits = 0});
+          d.restart.push_back(pid);
+        }
+      }
+      if (d.torn.size() >= view.started_pids().size()) {
+        d.torn.pop_back();  // keep a survivor
+        d.restart.pop_back();
+      }
+    }
+    return d;
+  });
+
+  const RunResult result = engine.run(adversary);
+  EXPECT_TRUE(result.goal_met);
+  ASSERT_TRUE(engine.goal_unsatisfied().has_value());
+  EXPECT_EQ(*engine.goal_unsatisfied(), 0u);
+  EXPECT_EQ(recount(engine.memory()), 0u);
+  EXPECT_GT(result.tally.failures, 0u);
+}
+
+// --- Read-log gating -------------------------------------------------------
+
+TEST(ReadLog, OffByDefaultOnByRequest) {
+  std::size_t default_reads = ~std::size_t{0};
+  std::size_t logged_reads = ~std::size_t{0};
+  for (const bool log : {false, true}) {
+    LambdaProgram program(1, 8, [](Pid, std::uint64_t, CycleContext& ctx) {
+      (void)ctx.read(2);
+      (void)ctx.read(5);
+      return false;
+    });
+    std::size_t seen = 0;
+    LambdaAdversary adversary([&](const MachineView& view) {
+      seen = view.trace(0).reads.size();
+      return FaultDecision{};
+    });
+    EngineOptions options;
+    options.log_reads = log;
+    Engine engine(program, options);
+    (void)engine.run(adversary);
+    (log ? logged_reads : default_reads) = seen;
+  }
+  EXPECT_EQ(default_reads, 0u);  // budget still enforced, addresses not kept
+  EXPECT_EQ(logged_reads, 2u);
+}
+
+}  // namespace
+}  // namespace rfsp
