@@ -11,8 +11,10 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <span>
 
 #include "accounting/tally.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace rfsp::bench {
@@ -25,6 +27,37 @@ inline void report(benchmark::State& state, const WorkTally& tally,
   state.counters["F"] = static_cast<double>(tally.pattern_size());
   state.counters["slots"] = static_cast<double>(tally.slots);
   state.counters["sigma"] = tally.overhead_ratio(n);
+  state.counters["peak_live"] = static_cast<double>(tally.peak_live);
+  state.counters["halted"] = static_cast<double>(tally.halted);
+}
+
+// Attach per-phase completed-work counters (from RunResult::phases) as
+// S_<phase-name>. Call from an extra un-timed run so the attribution
+// machinery never sits inside the timed loop.
+inline void report_phases(benchmark::State& state,
+                          std::span<const PhaseWork> phases) {
+  for (const PhaseWork& phase : phases) {
+    state.counters["S_" + phase.name] =
+        static_cast<double>(phase.completed_work);
+  }
+}
+
+// Attach a metrics registry's counters and gauges as benchmark counters
+// (histograms surface as <name>_mean / <name>_max). Same caveat: fill the
+// registry outside the timed loop.
+inline void attach_metrics(benchmark::State& state,
+                           const MetricsRegistry& registry) {
+  for (const auto& [name, counter] : registry.counters()) {
+    state.counters[name] = static_cast<double>(counter.value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    state.counters[name] = gauge.value();
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (hist.count() == 0) continue;
+    state.counters[name + "_mean"] = hist.mean();
+    state.counters[name + "_max"] = static_cast<double>(hist.max());
+  }
 }
 
 // Print a titled experiment table to stdout (once per binary run).

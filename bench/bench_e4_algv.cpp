@@ -111,6 +111,19 @@ void BM_VBurst(benchmark::State& state) {
   state.counters["S_over_bound"] =
       out.run.tally.completed_work /
       v_bound(n, p, out.run.tally.pattern_size());
+
+  // One extra un-timed run with the observability layer on: per-phase
+  // completed work and the engine metrics ride along as counters without
+  // touching the timed loop above.
+  BurstAdversary adversary({.period = period, .count = p / 4});
+  MetricsRegistry metrics;
+  EngineOptions options;
+  options.metrics = &metrics;
+  options.attribute_phases = true;
+  const auto observed = run_writeall(
+      WriteAllAlgo::kV, {.n = n, .p = p, .seed = 1}, adversary, options);
+  bench::report_phases(state, observed.run.phases);
+  bench::attach_metrics(state, metrics);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 //   sim_cli --program bitonic-sort --n 256 --p 32 --inner X
 //   sim_cli --program leader-elect --n 64 --p 16      (ARBITRARY CRCW)
 //   sim_cli --program sort-scan --n 128 --p 32        (chained pipeline)
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -16,6 +17,8 @@
 #include <string>
 
 #include "fault/adversaries.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "programs/chain.hpp"
 #include "programs/programs.hpp"
 #include "sim/discipline.hpp"
@@ -39,7 +42,10 @@ using namespace rfsp;
                "  --inner NAME    VX|X|V embedded Write-All (default VX)\n"
                "  --fail PROB     per-slot failure probability (default 0.05)\n"
                "  --restart PROB  per-slot restart probability (default 0.5)\n"
-               "  --seed S        seed (default 1)\n";
+               "  --seed S        seed (default 1)\n"
+               "  --trace-out F   stream engine events to F (JSONL, or CSV\n"
+               "                  when F ends in .csv)\n"
+               "  --metrics-out F save the run's metrics registry as JSON\n";
   std::exit(2);
 }
 
@@ -75,6 +81,8 @@ int main(int argc, char** argv) {
   const double fail = std::stod(take("fail", "0.05"));
   const double restart = std::stod(take("restart", "0.5"));
   const std::uint64_t seed = std::stoull(take("seed", "1"));
+  const std::string trace_out = take("trace-out", "");
+  const std::string metrics_out = take("metrics-out", "");
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
 
   SimInner inner = SimInner::kCombinedVX;
@@ -161,8 +169,25 @@ int main(int argc, char** argv) {
                                                  .restart_prob = restart});
     }
 
-    const SimResult r = simulate(*program, *adversary,
-                                 {.physical_processors = p, .inner = inner});
+    std::ofstream event_os;
+    std::unique_ptr<TraceSink> sink;
+    if (!trace_out.empty()) {
+      event_os.open(trace_out);
+      if (!event_os) usage("cannot write " + trace_out);
+      const bool csv = trace_out.size() >= 4 &&
+                       trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
+      if (csv) {
+        sink = std::make_unique<CsvTraceSink>(event_os);
+      } else {
+        sink = std::make_unique<JsonlTraceSink>(event_os);
+      }
+    }
+    MetricsRegistry metrics;
+
+    SimOptions sim_options{.physical_processors = p, .inner = inner};
+    sim_options.sink = sink.get();
+    if (!metrics_out.empty()) sim_options.metrics = &metrics;
+    const SimResult r = simulate(*program, *adversary, sim_options);
     const bool correct =
         r.completed && (verifier ? verifier(r.memory)
                                  : r.memory == reference_run(*program));
@@ -177,6 +202,15 @@ int main(int argc, char** argv) {
               << "parallel time    " << t.slots << " update cycles\n"
               << "overhead sigma   "
               << t.overhead_ratio(program->processors()) << '\n';
+    if (!trace_out.empty()) {
+      std::cout << "events saved to  " << trace_out << '\n';
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      metrics.write_json(os);
+      os << "\n";
+      std::cout << "metrics saved to " << metrics_out << '\n';
+    }
     return correct ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -18,6 +18,9 @@
 #include "fault/halving.hpp"
 #include "fault/iteration_killer.hpp"
 #include "fault/stalkers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
 #include "writeall/algv.hpp"
 #include "writeall/algx.hpp"
 #include "writeall/combined.hpp"
@@ -45,7 +48,11 @@ using namespace rfsp;
       "  --burst-count K    burst adversary victims per burst (P/4)\n"
       "  --pattern-in FILE  replay a saved pattern (off-line adversary)\n"
       "  --pattern-out FILE save the run's failure pattern\n"
-      "  --trace FILE       save the per-slot trace as CSV\n";
+      "  --trace FILE       save the per-slot trace as CSV\n"
+      "  --trace-out FILE   stream engine events to FILE (JSONL, or CSV\n"
+      "                     when FILE ends in .csv)\n"
+      "  --metrics-out FILE save the run's metrics registry as JSON\n"
+      "  --phases 1         print the per-phase work breakdown\n";
   std::exit(2);
 }
 
@@ -90,6 +97,9 @@ int main(int argc, char** argv) {
   const std::string pattern_in = take("pattern-in", "");
   const std::string pattern_out = take("pattern-out", "");
   const std::string trace_file = take("trace", "");
+  const std::string trace_out = take("trace-out", "");
+  const std::string metrics_out = take("metrics-out", "");
+  const bool show_phases = take("phases", "0") != "0";
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
 
   const auto algos = algo_names();
@@ -143,6 +153,25 @@ int main(int argc, char** argv) {
     EngineOptions options;
     options.record_pattern = !pattern_out.empty();
     options.record_trace = !trace_file.empty();
+
+    std::ofstream event_os;
+    std::unique_ptr<TraceSink> sink;
+    if (!trace_out.empty()) {
+      event_os.open(trace_out);
+      if (!event_os) usage("cannot write " + trace_out);
+      const bool csv = trace_out.size() >= 4 &&
+                       trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
+      if (csv) {
+        sink = std::make_unique<CsvTraceSink>(event_os);
+      } else {
+        sink = std::make_unique<JsonlTraceSink>(event_os);
+      }
+      options.sink = sink.get();
+    }
+    MetricsRegistry metrics;
+    if (!metrics_out.empty()) options.metrics = &metrics;
+    options.attribute_phases = show_phases;
+
     const WriteAllOutcome out = run_writeall(algo, config, *adversary, options);
 
     const auto& t = out.run.tally;
@@ -169,6 +198,25 @@ int main(int argc, char** argv) {
       write_trace_csv(os, out.run.trace);
       std::cout << "trace saved to   " << trace_file << " ("
                 << out.run.trace.size() << " slots)\n";
+    }
+    if (!trace_out.empty()) {
+      std::cout << "events saved to  " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      metrics.write_json(os);
+      os << "\n";
+      std::cout << "metrics saved to " << metrics_out << "\n";
+    }
+    if (!out.run.phases.empty()) {
+      Table table({"phase", "S", "S'", "failures", "restarts", "slots"});
+      for (const PhaseWork& phase : out.run.phases) {
+        table.add_row({phase.name, fmt_int(phase.completed_work),
+                       fmt_int(phase.attempted_work), fmt_int(phase.failures),
+                       fmt_int(phase.restarts), fmt_int(phase.slots)});
+      }
+      std::cout << "\nper-phase breakdown\n";
+      table.print(std::cout);
     }
     return out.solved ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Run every experiment bench (E1–E14) with --benchmark_format=json and
-# aggregate the results into BENCH_PR1.json, the first point of the perf
+# aggregate the results into BENCH_<tag>.json, one point of the perf
 # trajectory the ROADMAP tracks PR over PR.
 #
 # Usage:
-#   scripts/run_benches.sh [build-dir] [out-dir]
+#   scripts/run_benches.sh [build-dir] [out-dir] [tag]
 #
-# Defaults: build-dir = build, out-dir = <build-dir>/bench-results.
-# The aggregate lands in <out-dir>/BENCH_PR1.json.
+# Defaults: build-dir = build, out-dir = <build-dir>/bench-results,
+# tag = $RFSP_BENCH_TAG or PR2. The aggregate lands in
+# <out-dir>/BENCH_<tag>.json.
 #
 # Environment:
+#   RFSP_BENCH_TAG=…     aggregate name when the tag argument is omitted.
 #   RFSP_BENCH_LARGE=1   also run the minutes-long headline rows
 #                        (E5/X-stalked/n:65536). Off by default so the
 #                        whole suite stays a coffee-break run.
@@ -21,6 +23,7 @@ cd "$(dirname "$0")/.."
 
 build_dir=${1:-build}
 out_dir=${2:-"$build_dir/bench-results"}
+tag=${3:-${RFSP_BENCH_TAG:-PR2}}
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found — build first:" >&2
@@ -48,10 +51,11 @@ for bench in "$build_dir"/bench/*; do
   "$bench" "${args[@]}" >/dev/null
 done
 
-python3 - "$out_dir" <<'PY'
+python3 - "$out_dir" "$tag" <<'PY'
 import json, pathlib, sys
 
 out_dir = pathlib.Path(sys.argv[1])
+tag = sys.argv[2]
 runs = {}
 for path in sorted(out_dir.glob("bench_*.json")):
     try:
@@ -80,12 +84,12 @@ for path in sorted(out_dir.glob("bench_*.json")):
 
 aggregate = {
     "schema": "rfsp-bench-v1",
-    "pr": 1,
+    "tag": tag,
     "note": "Fresh run of every bench binary; see BENCH_PR1.json at the "
             "repo root for the checked-in before/after engine comparison.",
     "runs": runs,
 }
-out = out_dir / "BENCH_PR1.json"
+out = out_dir / f"BENCH_{tag}.json"
 with open(out, "w") as f:
     json.dump(aggregate, f, indent=2)
     f.write("\n")

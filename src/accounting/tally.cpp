@@ -21,6 +21,14 @@ void write_trace_csv(std::ostream& out, std::span<const SlotStats> trace) {
   }
 }
 
+void write_phase_csv(std::ostream& out, std::span<const PhaseWork> phases) {
+  out << "phase,completed,attempted,failures,restarts,slots\n";
+  for (const PhaseWork& p : phases) {
+    out << p.name << ',' << p.completed_work << ',' << p.attempted_work << ','
+        << p.failures << ',' << p.restarts << ',' << p.slots << '\n';
+  }
+}
+
 void WorkTally::merge(const WorkTally& other) {
   completed_work += other.completed_work;
   attempted_work += other.attempted_work;

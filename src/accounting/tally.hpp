@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <string>
 
 namespace rfsp {
 
@@ -46,5 +47,23 @@ struct SlotStats {
 
 // CSV export (header + one row per slot), for plotting run dynamics.
 void write_trace_csv(std::ostream& out, std::span<const SlotStats> trace);
+
+// One phase's slice of a run's accounting, attributed slot-by-slot through
+// the program's PhaseSchedule (obs/phase.hpp). Over a run,
+// Σ completed_work == WorkTally::completed_work (and likewise for S', |F|,
+// and slots) — every slot belongs to exactly one phase.
+struct PhaseWork {
+  std::string name;
+  std::uint64_t completed_work = 0;  // S landing in this phase's slots
+  std::uint64_t attempted_work = 0;  // S' landing in this phase's slots
+  std::uint64_t failures = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t slots = 0;
+
+  std::uint64_t pattern_size() const { return failures + restarts; }
+};
+
+// CSV export (header + one row per phase) of a per-phase breakdown.
+void write_phase_csv(std::ostream& out, std::span<const PhaseWork> phases);
 
 }  // namespace rfsp

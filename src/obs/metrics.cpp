@@ -1,0 +1,57 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+namespace rfsp {
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  const char* sep = "";
+  for (const auto& [name, c] : counters_) {
+    out << sep << "\n    ";
+    write_json_string(out, name);
+    out << ": " << c.value();
+    sep = ",";
+  }
+  out << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, g] : gauges_) {
+    out << sep << "\n    ";
+    write_json_string(out, name);
+    out << ": " << g.value();
+    sep = ",";
+  }
+  out << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, h] : histograms_) {
+    out << sep << "\n    ";
+    write_json_string(out, name);
+    out << ": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+        << ", \"max\": " << h.max() << ", \"mean\": " << h.mean()
+        << ", \"buckets\": [";
+    const char* bsep = "";
+    for (unsigned k = 0; k < Histogram::kBuckets; ++k) {
+      if (h.bucket(k) == 0) continue;
+      out << bsep << '[' << k << ", " << h.bucket(k) << ']';
+      bsep = ", ";
+    }
+    out << "]}";
+    sep = ",";
+  }
+  out << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace rfsp

@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rfsp {
+
+std::string_view to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSlot: return "slot";
+    case TraceEventKind::kCommit: return "commit";
+    case TraceEventKind::kFailure: return "failure";
+    case TraceEventKind::kRestart: return "restart";
+    case TraceEventKind::kHalt: return "halt";
+    case TraceEventKind::kPhase: return "phase";
+    case TraceEventKind::kRunEnd: return "run_end";
+  }
+  return "?";
+}
+
+namespace {
+
+// Phase names come from PhaseSchedule::names (plain labels), but escape the
+// two characters that could break the JSON framing anyway.
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void JsonlTraceSink::on_event(const TraceEvent& e) {
+  out_ << "{\"e\":\"" << to_string(e.kind) << "\",\"t\":" << e.slot;
+  switch (e.kind) {
+    case TraceEventKind::kSlot:
+      out_ << ",\"started\":" << e.started << ",\"completed\":" << e.completed
+           << ",\"failures\":" << e.failures << ",\"restarts\":" << e.restarts;
+      break;
+    case TraceEventKind::kCommit:
+      out_ << ",\"writes\":" << e.writes;
+      break;
+    case TraceEventKind::kFailure:
+    case TraceEventKind::kRestart:
+    case TraceEventKind::kHalt:
+      out_ << ",\"pid\":" << e.pid;
+      break;
+    case TraceEventKind::kPhase:
+      out_ << ",\"phase\":" << e.phase << ",\"name\":";
+      write_json_string(out_, e.phase_name);
+      break;
+    case TraceEventKind::kRunEnd:
+      out_ << ",\"goal_met\":" << (e.goal_met ? "true" : "false")
+           << ",\"deadlock\":" << (e.deadlock ? "true" : "false")
+           << ",\"slot_limit\":" << (e.slot_limit ? "true" : "false");
+      break;
+  }
+  out_ << "}\n";
+}
+
+void JsonlTraceSink::flush() { out_.flush(); }
+
+void CsvTraceSink::on_event(const TraceEvent& e) {
+  if (!header_written_) {
+    out_ << "event,slot,pid,started,completed,failures,restarts,writes,"
+            "phase,name\n";
+    header_written_ = true;
+  }
+  out_ << to_string(e.kind) << ',' << e.slot << ',';
+  switch (e.kind) {
+    case TraceEventKind::kSlot:
+      out_ << ',' << e.started << ',' << e.completed << ',' << e.failures
+           << ',' << e.restarts << ",,,";
+      break;
+    case TraceEventKind::kCommit:
+      out_ << ",,,,," << e.writes << ",,";
+      break;
+    case TraceEventKind::kFailure:
+    case TraceEventKind::kRestart:
+    case TraceEventKind::kHalt:
+      out_ << e.pid << ",,,,,,,";
+      break;
+    case TraceEventKind::kPhase:
+      out_ << ",,,,,," << e.phase << ',' << e.phase_name;
+      break;
+    case TraceEventKind::kRunEnd:
+      out_ << ",,,,,,,";
+      break;
+  }
+  out_ << '\n';
+}
+
+void CsvTraceSink::flush() { out_.flush(); }
+
+void CollectingTraceSink::on_event(const TraceEvent& event) {
+  events_.push_back(event);
+  if (event.kind == TraceEventKind::kPhase) {
+    names_.emplace_back(event.phase_name);
+    events_.back().phase_name = names_.back();
+  } else {
+    events_.back().phase_name = {};
+  }
+}
+
+WorkTally CollectingTraceSink::reconstruct_tally() const {
+  WorkTally t;
+  for (const TraceEvent& e : events_) {
+    switch (e.kind) {
+      case TraceEventKind::kSlot:
+        t.completed_work += e.completed;
+        t.attempted_work += e.started;
+        t.failures += e.failures;
+        t.restarts += e.restarts;
+        t.slots += 1;
+        t.peak_live = std::max<std::uint64_t>(t.peak_live, e.started);
+        break;
+      case TraceEventKind::kHalt:
+        t.halted += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return t;
+}
+
+}  // namespace rfsp

@@ -1,0 +1,119 @@
+// Structured event tracing for the PRAM engine.
+//
+// A TraceSink receives one TraceEvent per engine occurrence: a per-slot
+// summary (kSlot), the commit snapshot (kCommit), each individual
+// failure/restart/halt with its PID (kFailure/kRestart/kHalt), phase
+// transitions when the program publishes a PhaseSchedule (kPhase), and a
+// final run summary (kRunEnd). The stream is deterministic: events are
+// emitted in slot order, and within a slot in the fixed order
+//   kPhase?, kSlot, kCommit, kFailure*, kRestart*, kHalt*,
+// with PID-ordered halts — identical under EngineOptions::cycle_threads.
+//
+// Cost model: with no sink installed the engine pays one predicted null
+// test per slot and nothing on the per-read/per-write hot paths; the whole
+// layer is compiled in but inert (see docs/observability.md for the
+// measured non-regression against BENCH_PR1.json).
+//
+// Reconstruction invariants (asserted by tests/obs_test.cpp):
+//   Σ kSlot.completed == WorkTally::completed_work   (S)
+//   Σ kSlot.started   == WorkTally::attempted_work   (S')
+//   #kFailure + #kRestart == WorkTally::pattern_size()  (|F|)
+//   #kHalt == WorkTally::halted,  #kSlot == WorkTally::slots.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accounting/tally.hpp"
+#include "pram/types.hpp"
+
+namespace rfsp {
+
+enum class TraceEventKind : std::uint8_t {
+  kSlot,     // per-slot summary: started/completed/failures/restarts
+  kCommit,   // per-slot commit: buffered writes entering the commit
+  kFailure,  // one <failure, PID, slot> triple (Definition 2.1)
+  kRestart,  // one <restart, PID, slot> triple
+  kHalt,     // a processor voluntarily finished (completed final cycle)
+  kPhase,    // the machine entered a new phase (PhaseSchedule programs)
+  kRunEnd,   // run finished: goal_met / deadlock / slot_limit
+};
+
+std::string_view to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kSlot;
+  Slot slot = 0;
+  Pid pid = 0;                    // kFailure / kRestart / kHalt
+  std::uint32_t started = 0;      // kSlot: live processors that ran a cycle
+  std::uint32_t completed = 0;    // kSlot: cycles that committed
+  std::uint32_t failures = 0;     // kSlot: failure events this slot
+  std::uint32_t restarts = 0;     // kSlot: restart events this slot
+  std::uint32_t writes = 0;       // kCommit: buffered writes this slot
+  std::uint32_t phase = 0;        // kPhase: id of the phase being entered
+  std::string_view phase_name{};  // kPhase: valid only during on_event
+  bool goal_met = false;          // kRunEnd
+  bool deadlock = false;          // kRunEnd
+  bool slot_limit = false;        // kRunEnd
+};
+
+// Receiver interface. on_event is called from the engine's slot loop (the
+// calling thread; never from pool workers); implementations need no
+// locking. Any string_view fields are valid only for the duration of the
+// call — sinks that retain events must copy them (CollectingTraceSink
+// does).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void flush() {}  // called once at run end
+};
+
+// One JSON object per line, e.g.
+//   {"e":"slot","t":5,"started":8,"completed":7,"failures":1,"restarts":0}
+//   {"e":"failure","t":5,"pid":3}
+//   {"e":"phase","t":6,"phase":1,"name":"work"}
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(out) {}
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+};
+
+// One header plus one row per event; inapplicable columns are left empty.
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(std::ostream& out) : out_(out) {}
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+  bool header_written_ = false;
+};
+
+// In-memory sink for tests and programmatic consumers. Copies phase names
+// into stable storage so the collected events outlive the run.
+class CollectingTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Re-derive the run's WorkTally from the event stream alone (the
+  // reconstruction invariants in the file comment). peak_live comes from
+  // the max kSlot.started.
+  WorkTally reconstruct_tally() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::deque<std::string> names_;  // stable referents for phase_name views
+};
+
+}  // namespace rfsp

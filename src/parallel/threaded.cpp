@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -54,8 +55,7 @@ class Worker {
  public:
   Worker(AtomicMemory& mem, const XLayout& layout, const ThreadedOptions& opt,
          Addr out_base, Pid pid, std::atomic<bool>& kill,
-         std::atomic<std::uint64_t>& iters,
-         std::atomic<std::uint64_t>& failures)
+         std::uint64_t& iters, std::uint64_t& failures)
       : mem_(mem), layout_(layout), opt_(opt), out_base_(out_base),
         pid_(pid), kill_(kill), iters_(iters), failures_(failures),
         rng_(mix64(opt.seed, pid, 0x715ca1ab)) {}
@@ -66,7 +66,7 @@ class Worker {
       if (kill_.exchange(false)) {
         // Injected failure: lose private memory, reseed the coin stream
         // from stable data (seed, PID, progress so far), recover from w[].
-        failures_.fetch_add(1);
+        ++failures_;
         rng_ = Rng(mix64(opt_.seed, pid_, local_iters));
       }
       ++local_iters;
@@ -126,7 +126,7 @@ class Worker {
       }
       mem_.store(layout_.w(pid_), static_cast<Word>(next));
     }
-    iters_.fetch_add(local_iters);
+    iters_ = local_iters;
   }
 
  private:
@@ -144,8 +144,8 @@ class Worker {
   Addr out_base_;
   Pid pid_;
   std::atomic<bool>& kill_;
-  std::atomic<std::uint64_t>& iters_;
-  std::atomic<std::uint64_t>& failures_;
+  std::uint64_t& iters_;
+  std::uint64_t& failures_;
   Rng rng_;
 };
 
@@ -163,8 +163,10 @@ ThreadedResult run_threaded_writeall(const ThreadedOptions& options) {
   const Addr out_base = layout.aux_end();  // map output, when requested
   AtomicMemory mem(out_base + (options.map ? options.n : 0) + 1);
 
-  std::atomic<std::uint64_t> iters{0};
-  std::atomic<std::uint64_t> failures{0};
+  // Per-worker counters: written only by the owning thread; join() below
+  // provides the happens-before edge for the readers.
+  std::vector<std::uint64_t> iters(options.workers, 0);
+  std::vector<std::uint64_t> failures(options.workers, 0);
   std::vector<std::atomic<bool>> kill(options.workers);
   for (auto& k : kill) k.store(false);
 
@@ -173,8 +175,8 @@ ThreadedResult run_threaded_writeall(const ThreadedOptions& options) {
   threads.reserve(options.workers);
   for (unsigned w = 0; w < options.workers; ++w) {
     threads.emplace_back(Worker(mem, layout, options, out_base,
-                                static_cast<Pid>(w), kill[w], iters,
-                                failures));
+                                static_cast<Pid>(w), kill[w], iters[w],
+                                failures[w]));
   }
 
   // Failure injector: while the tree is unfinished, flip worker kill flags
@@ -200,14 +202,30 @@ ThreadedResult run_threaded_writeall(const ThreadedOptions& options) {
       break;
     }
   }
-  result.loop_iterations = iters.load();
-  result.injected_failures = failures.load();
+  result.worker_iterations = std::move(iters);
+  result.worker_failures = std::move(failures);
+  for (const std::uint64_t it : result.worker_iterations) {
+    result.loop_iterations += it;
+  }
+  for (const std::uint64_t f : result.worker_failures) {
+    result.injected_failures += f;
+  }
   result.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   if (options.map) {
     result.map_output.reserve(options.n);
     for (Addr i = 0; i < options.n; ++i) {
       result.map_output.push_back(mem.load(out_base + i));
+    }
+  }
+  if (options.metrics != nullptr) {
+    MetricsRegistry& reg = *options.metrics;
+    reg.counter("threaded.loop_iterations").add(result.loop_iterations);
+    reg.counter("threaded.injected_failures").add(result.injected_failures);
+    reg.gauge("threaded.wall_seconds").set(result.wall_seconds);
+    Histogram& per_worker = reg.histogram("threaded.iterations_per_worker");
+    for (const std::uint64_t it : result.worker_iterations) {
+      per_worker.observe(it);
     }
   }
   return result;

@@ -27,6 +27,8 @@
 
 namespace rfsp {
 
+class MetricsRegistry;
+
 // Shared memory of atomic words; all accesses are seq_cst (the combining
 // network of §2.3 serializes concurrent access; seq_cst is its moral
 // equivalent and keeps the reasoning simple).
@@ -71,6 +73,12 @@ struct ThreadedOptions {
   // pure — a killed worker's successor recomputes it. Results come back in
   // ThreadedResult::map_output.
   std::function<Word(Addr)> map;
+
+  // Optional run-level metrics export (obs/metrics.hpp): counters
+  // threaded.loop_iterations / threaded.injected_failures, gauge
+  // threaded.wall_seconds, histogram threaded.iterations_per_worker.
+  // Recorded after the workers join — nothing on the worker hot loop.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ThreadedResult {
@@ -79,6 +87,10 @@ struct ThreadedResult {
   std::uint64_t injected_failures = 0;
   double wall_seconds = 0.0;
   std::vector<Word> map_output;   // n values when options.map was set
+  // Per-worker breakdowns (index = worker PID): how evenly the descent
+  // spread the work, and which workers absorbed the injected failures.
+  std::vector<std::uint64_t> worker_iterations;
+  std::vector<std::uint64_t> worker_failures;
 };
 
 ThreadedResult run_threaded_writeall(const ThreadedOptions& options);

@@ -1,12 +1,15 @@
 #include "pram/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace rfsp {
@@ -57,8 +60,10 @@ std::span<const Word> CycleContext::snapshot() {
 // exception a sequential run would have surfaced first.
 
 struct Engine::CyclePool {
-  explicit CyclePool(Engine& engine, unsigned threads) : engine_(engine) {
+  CyclePool(Engine& engine, unsigned threads, bool profile)
+      : engine_(engine), profile_(profile) {
     errors_.resize(threads);
+    profiles_.resize(threads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) {
       workers_.emplace_back([this, i] { worker(i); });
@@ -85,18 +90,37 @@ struct Engine::CyclePool {
       ++generation_;
     }
     cv_start_.notify_all();
+    const auto wait_from = profile_ ? Clock::now() : Clock::time_point{};
     {
       std::unique_lock<std::mutex> lock(m_);
       cv_done_.wait(lock, [this] { return pending_ == 0; });
     }
+    if (profile_) commit_wait_ns_ += elapsed_ns(wait_from);
     for (const std::exception_ptr& e : errors_) {  // chunk == PID order
       if (e) std::rethrow_exception(e);
     }
   }
 
+  // Per-worker busy/idle accounting (EngineOptions::profile_threads). Each
+  // entry is written only by its owning worker, and every write for a
+  // finished batch happens-before run_slot's return through the pending_
+  // mutex — reading between slots or after the run is race-free.
+  const std::vector<ThreadProfile>& profiles() const { return profiles_; }
+  std::uint64_t commit_wait_ns() const { return commit_wait_ns_; }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  static std::uint64_t elapsed_ns(Clock::time_point from) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             from)
+            .count());
+  }
+
   void worker(unsigned index) {
     std::uint64_t seen = 0;
+    auto idle_from = profile_ ? Clock::now() : Clock::time_point{};
     for (;;) {
       std::span<const Pid> pids;
       {
@@ -106,6 +130,14 @@ struct Engine::CyclePool {
         if (stop_) return;
         seen = generation_;
         pids = pids_;
+      }
+      auto busy_from = Clock::time_point{};
+      if (profile_) {
+        busy_from = Clock::now();
+        profiles_[index].idle_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(busy_from -
+                                                                 idle_from)
+                .count());
       }
       const std::size_t w = workers_.size();
       const std::size_t chunk = (pids.size() + w - 1) / w;
@@ -119,6 +151,14 @@ struct Engine::CyclePool {
       } catch (...) {
         errors_[index] = std::current_exception();
       }
+      if (profile_) {
+        idle_from = Clock::now();
+        profiles_[index].busy_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(idle_from -
+                                                                 busy_from)
+                .count());
+        if (end > begin) ++profiles_[index].slots;
+      }
       {
         std::lock_guard<std::mutex> lock(m_);
         if (--pending_ == 0) cv_done_.notify_one();
@@ -127,7 +167,10 @@ struct Engine::CyclePool {
   }
 
   Engine& engine_;
+  const bool profile_;
   std::vector<std::thread> workers_;
+  std::vector<ThreadProfile> profiles_;
+  std::uint64_t commit_wait_ns_ = 0;
   std::mutex m_;
   std::condition_variable cv_start_, cv_done_;
   std::span<const Pid> pids_;
@@ -178,9 +221,32 @@ Engine::Engine(const Program& program, EngineOptions options)
                 options_.detect_read_conflicts);
   if (options_.cycle_threads > 1) {
     lanes_.resize(options_.cycle_threads);
-    pool_ = std::make_unique<CyclePool>(*this, options_.cycle_threads);
+    pool_ = std::make_unique<CyclePool>(*this, options_.cycle_threads,
+                                        options_.profile_threads);
   } else {
     lanes_.resize(1);
+  }
+
+  // Observability: resolve everything once here so the slot loop's only
+  // instrumentation cost with no sink/registry is a null/empty test.
+  sink_ = options_.sink;
+  metrics_ = options_.metrics;
+  if (sink_ != nullptr || options_.attribute_phases) {
+    if (std::optional<PhaseSchedule> schedule = program_.phase_schedule()) {
+      RFSP_CHECK_MSG(schedule->phase_of != nullptr && !schedule->names.empty(),
+                     "PhaseSchedule needs names and a phase_of function");
+      phase_of_ = std::move(schedule->phase_of);
+      phase_work_.reserve(schedule->names.size());
+      for (std::string& name : schedule->names) {
+        PhaseWork work;
+        work.name = std::move(name);
+        phase_work_.push_back(std::move(work));
+      }
+    }
+  }
+  if (metrics_ != nullptr) {
+    live_hist_ = &metrics_->histogram("engine.live_per_slot");
+    restart_counts_.assign(p, 0);
   }
 }
 
@@ -230,6 +296,64 @@ std::size_t Engine::run_cycles() {
     for (Pid pid : live_pids_) cycle_one(pid, lanes_.front());
   }
   return live_pids_.size();
+}
+
+void Engine::observe_slot(const FaultDecision& d, std::size_t started,
+                          std::size_t completed, std::size_t failure_events) {
+  if (!phase_work_.empty()) {
+    const std::uint32_t ph = phase_of_(slot_);
+    RFSP_CHECK_MSG(ph < phase_work_.size(),
+                   "PhaseSchedule::phase_of returned an out-of-range id");
+    if (sink_ != nullptr && ph != last_phase_) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kPhase;
+      event.slot = slot_;
+      event.phase = ph;
+      event.phase_name = phase_work_[ph].name;
+      sink_->on_event(event);
+    }
+    last_phase_ = ph;
+    PhaseWork& work = phase_work_[ph];
+    work.completed_work += completed;
+    work.attempted_work += started;
+    work.failures += failure_events;
+    work.restarts += d.restart.size();
+    work.slots += 1;
+  }
+  if (sink_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kSlot;
+    event.slot = slot_;
+    event.started = static_cast<std::uint32_t>(started);
+    event.completed = static_cast<std::uint32_t>(completed);
+    event.failures = static_cast<std::uint32_t>(failure_events);
+    event.restarts = static_cast<std::uint32_t>(d.restart.size());
+    sink_->on_event(event);
+
+    std::size_t writes = 0;
+    for (const LaneLog& lane : lanes_) writes += lane.writes.size();
+    TraceEvent commit;
+    commit.kind = TraceEventKind::kCommit;
+    commit.slot = slot_;
+    commit.writes = static_cast<std::uint32_t>(writes);
+    sink_->on_event(commit);
+
+    TraceEvent pe;
+    pe.slot = slot_;
+    pe.kind = TraceEventKind::kFailure;
+    for (Pid pid : d.fail_mid_cycle) { pe.pid = pid; sink_->on_event(pe); }
+    for (Pid pid : d.fail_after_cycle) { pe.pid = pid; sink_->on_event(pe); }
+    for (const TornWrite& tear : d.torn) {
+      pe.pid = tear.pid;
+      sink_->on_event(pe);
+    }
+    pe.kind = TraceEventKind::kRestart;
+    for (Pid pid : d.restart) { pe.pid = pid; sink_->on_event(pe); }
+  }
+  if (metrics_ != nullptr) {
+    live_hist_->observe(started);
+    for (Pid pid : d.restart) ++restart_counts_[pid];
+  }
 }
 
 void Engine::validate_decision(const FaultDecision& d) {
@@ -390,6 +514,15 @@ void Engine::apply_transitions(const FaultDecision& d) {
         mark_set(pid, 1);
         ++halts;
         ++tally_.halted;
+        if (sink_ != nullptr) {
+          // Lanes hold contiguous ascending PID chunks, so halt events come
+          // out in PID order regardless of cycle_threads.
+          TraceEvent event;
+          event.kind = TraceEventKind::kHalt;
+          event.slot = slot_;
+          event.pid = pid;
+          sink_->on_event(event);
+        }
       }
     }
   }
@@ -486,6 +619,9 @@ RunResult Engine::run(Adversary& adversary) {
                                        decision.torn.size();
     tally_.failures += failure_events;
     tally_.restarts += decision.restart.size();
+    if (sink_ != nullptr || metrics_ != nullptr || !phase_work_.empty()) {
+      observe_slot(decision, started, completed, failure_events);
+    }
     if (options_.record_trace) {
       result.trace.push_back({slot_, static_cast<std::uint32_t>(started),
                               static_cast<std::uint32_t>(completed),
@@ -512,6 +648,35 @@ RunResult Engine::run(Adversary& adversary) {
 
     ++slot_;
     ++tally_.slots;
+  }
+
+  if (sink_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRunEnd;
+    event.slot = slot_;
+    event.goal_met = result.goal_met;
+    event.deadlock = result.deadlock;
+    event.slot_limit = result.slot_limit;
+    sink_->on_event(event);
+    sink_->flush();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("engine.completed_work").add(tally_.completed_work);
+    metrics_->counter("engine.attempted_work").add(tally_.attempted_work);
+    metrics_->counter("engine.failures").add(tally_.failures);
+    metrics_->counter("engine.restarts").add(tally_.restarts);
+    metrics_->counter("engine.halted").add(tally_.halted);
+    metrics_->counter("engine.slots_to_goal").add(tally_.slots);
+    metrics_->gauge("engine.peak_live")
+        .set(static_cast<double>(tally_.peak_live));
+    metrics_->gauge("engine.goal_met").set(result.goal_met ? 1.0 : 0.0);
+    Histogram& per_pid = metrics_->histogram("engine.restarts_per_processor");
+    for (std::uint32_t count : restart_counts_) per_pid.observe(count);
+  }
+  result.phases = std::move(phase_work_);
+  if (pool_ && options_.profile_threads) {
+    result.thread_profile = pool_->profiles();
+    result.commit_wait_ns = pool_->commit_wait_ns();
   }
 
   result.tally = tally_;

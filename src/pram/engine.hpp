@@ -17,6 +17,7 @@
 // them; see util/error.hpp.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,10 @@
 #include "pram/types.hpp"
 
 namespace rfsp {
+
+class TraceSink;        // obs/trace.hpp
+class MetricsRegistry;  // obs/metrics.hpp
+class Histogram;        // obs/metrics.hpp
 
 struct EngineOptions {
   // Per-update-cycle budgets; the paper fixes "e.g. <= 4" reads and
@@ -92,6 +97,42 @@ struct EngineOptions {
   // Safety valve: stop after this many slots even if the goal is unmet
   // (e.g. algorithm W genuinely need not terminate under restarts).
   Slot max_slots = Slot{1} << 26;
+
+  // --- Observability (src/obs, docs/observability.md) -----------------------
+
+  // Structured event sink: slot/commit/failure/restart/halt (and, for
+  // programs with a PhaseSchedule, phase-transition) events, emitted from
+  // the slot loop on the calling thread. Null (the default) keeps the slot
+  // loop on the PR 1 fast path: the instrumentation is compiled in but
+  // costs one predicted null test per slot, and nothing is ever added to
+  // the per-read/per-write paths. The sink must outlive the engine.
+  TraceSink* sink = nullptr;
+
+  // Metrics registry: the engine records live-processors-per-slot and
+  // restarts-per-processor histograms plus run-total counters/gauges (the
+  // "engine.*" names in docs/observability.md). Same cost contract and
+  // lifetime requirement as `sink`.
+  MetricsRegistry* metrics = nullptr;
+
+  // Per-phase work attribution: when the program publishes a PhaseSchedule
+  // (Program::phase_schedule), charge every slot's S/S'/|F| to that slot's
+  // phase and return the breakdown in RunResult::phases. Implied by an
+  // installed sink (phase events need the attribution state anyway).
+  bool attribute_phases = false;
+
+  // Wall-clock profiling of the cycle_threads pool: per-worker busy/idle
+  // time and the calling thread's commit-wait, into
+  // RunResult::thread_profile / commit_wait_ns. No-op when cycle_threads
+  // <= 1; off by default because the clock reads cost ~2 syscall-free
+  // rdtsc-ish reads per worker per slot.
+  bool profile_threads = false;
+};
+
+// Wall-clock profile of one cycle-pool worker (EngineOptions::profile_threads).
+struct ThreadProfile {
+  std::uint64_t busy_ns = 0;  // executing update cycles
+  std::uint64_t idle_ns = 0;  // parked between slot batches
+  std::uint64_t slots = 0;    // slot batches this worker participated in
 };
 
 struct RunResult {
@@ -101,6 +142,17 @@ struct RunResult {
   bool slot_limit = false;  // max_slots exhausted
   FaultPattern pattern;     // populated iff EngineOptions::record_pattern
   std::vector<SlotStats> trace;  // populated iff EngineOptions::record_trace
+
+  // Per-phase S/S'/|F| breakdown; populated iff phase attribution ran
+  // (sink or attribute_phases, and the program published a PhaseSchedule).
+  // Invariant: sums over phases equal the corresponding tally fields.
+  std::vector<PhaseWork> phases;
+
+  // Cycle-pool wall-clock profile; populated iff profile_threads and
+  // cycle_threads > 1. commit_wait_ns is the calling thread's time spent
+  // waiting for workers to finish slot batches.
+  std::vector<ThreadProfile> thread_profile;
+  std::uint64_t commit_wait_ns = 0;
 };
 
 class Engine {
@@ -148,6 +200,10 @@ class Engine {
   std::size_t run_cycles();  // step 1; returns # of started cycles
   // One processor's update cycle into traces_ plus `lane`'s compact log.
   void cycle_one(Pid pid, LaneLog& lane);
+  // Per-slot phase attribution + event/metric emission; called once per
+  // slot after the decision is validated, only when observability is on.
+  void observe_slot(const FaultDecision& d, std::size_t started,
+                    std::size_t completed, std::size_t failure_events);
   void validate_decision(const FaultDecision& d);
   void commit_writes(const FaultDecision& d);
   void check_read_conflicts() const;
@@ -202,6 +258,19 @@ class Engine {
   // Per-lane cycle-phase logs (see LaneLog): one for sequential runs,
   // cycle_threads of them when the pool is active.
   std::vector<LaneLog> lanes_;
+
+  // Observability state (EngineOptions::sink / metrics / attribute_phases).
+  // phase_work_ is non-empty iff phase attribution is active; the kPhase
+  // events' name views point into its PhaseWork::name strings, which live
+  // until the run moves them into RunResult::phases.
+  static constexpr std::uint32_t kNoPhase = ~std::uint32_t{0};
+  TraceSink* sink_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  std::function<std::uint32_t(Slot)> phase_of_;
+  std::vector<PhaseWork> phase_work_;
+  std::uint32_t last_phase_ = kNoPhase;
+  Histogram* live_hist_ = nullptr;         // engine.live_per_slot
+  std::vector<std::uint32_t> restart_counts_;  // per PID, iff metrics_
 
   // Incremental goal state (Program::goal_cells opt-in).
   bool incremental_goal_ = false;

@@ -21,6 +21,7 @@
 #include <span>
 #include <string_view>
 
+#include "obs/phase.hpp"
 #include "pram/memory.hpp"
 #include "pram/types.hpp"
 #include "util/error.hpp"
@@ -179,6 +180,16 @@ class Program {
   virtual bool goal_cell_done(Addr addr, Word value) const {
     (void)addr;
     return value != 0;
+  }
+
+  // Observability opt-in (see obs/phase.hpp): declare the fixed-length
+  // phase schedule the program's slots follow, so the engine can attribute
+  // S/S'/|F| per phase (RunResult::phases) and emit phase-transition trace
+  // events. Return nullopt (the default) for programs without a global
+  // phase structure. Consulted once, at engine construction, and only when
+  // a sink is installed or EngineOptions::attribute_phases is set.
+  virtual std::optional<PhaseSchedule> phase_schedule() const {
+    return std::nullopt;
   }
 };
 

@@ -388,6 +388,8 @@ SimResult simulate(const SimProgram& program, Adversary& adversary,
   eopt.write_budget = 2;
   eopt.max_slots = options.max_slots;
   eopt.record_pattern = options.record_pattern;
+  eopt.sink = options.sink;
+  eopt.metrics = options.metrics;
   // ARBITRARY programs run on a fail-stop machine "of the same type"
   // (Theorem 4.1): the engine breaks same-slot commit races arbitrarily
   // and the commit markers make the outcome stable thereafter.

@@ -43,6 +43,12 @@ struct SimOptions {
   SimInner inner = SimInner::kCombinedVX;
   Slot max_slots = Slot{1} << 26;
   bool record_pattern = false;
+  // Observability passthrough (see obs/trace.hpp, obs/metrics.hpp): the
+  // engine emits slot/failure/restart/halt events to `sink` and run totals
+  // into `metrics`. The simulation has no fixed-length phase structure
+  // (passes advance dynamically), so no kPhase events are produced.
+  TraceSink* sink = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct SimResult {

@@ -202,4 +202,18 @@ bool AlgV::goal(const SharedMemory& mem) const {
          static_cast<Word>(layout_.leaves_real);
 }
 
+std::optional<PhaseSchedule> AlgV::phase_schedule() const {
+  PhaseSchedule schedule;
+  schedule.names = {"alloc", "work", "update"};
+  const Slot iteration = layout_.iteration;
+  const Slot alloc_end = layout_.phase_alloc;
+  const Slot work_end = layout_.phase_alloc + layout_.phase_work;
+  schedule.phase_of = [iteration, alloc_end, work_end](Slot slot) {
+    const Slot phi = slot % iteration;
+    if (phi < alloc_end) return std::uint32_t{0};
+    return phi < work_end ? std::uint32_t{1} : std::uint32_t{2};
+  };
+  return schedule;
+}
+
 }  // namespace rfsp

@@ -112,6 +112,10 @@ class AlgV final : public WriteAllProgram {
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.x_base; }
 
+  // The fixed three-phase iteration: alloc / work / update, by slot mod
+  // T_iter (observability attribution; see obs/phase.hpp).
+  std::optional<PhaseSchedule> phase_schedule() const override;
+
   // goal() is the progress-tree root reaching the leaf total.
   std::optional<GoalCells> goal_cells() const override {
     return GoalCells{layout_.c(1), 1};

@@ -174,4 +174,20 @@ bool AlgW::goal(const SharedMemory& mem) const {
          static_cast<Word>(layout_.progress.leaves_real);
 }
 
+std::optional<PhaseSchedule> AlgW::phase_schedule() const {
+  PhaseSchedule schedule;
+  schedule.names = {"count", "alloc", "work", "update"};
+  const Slot iteration = layout_.iteration;
+  const Slot count_end = layout_.phase_count;
+  const Slot alloc_end = count_end + layout_.progress.phase_alloc;
+  const Slot work_end = alloc_end + layout_.progress.phase_work;
+  schedule.phase_of = [iteration, count_end, alloc_end, work_end](Slot slot) {
+    const Slot phi = slot % iteration;
+    if (phi < count_end) return std::uint32_t{0};
+    if (phi < alloc_end) return std::uint32_t{1};
+    return phi < work_end ? std::uint32_t{2} : std::uint32_t{3};
+  };
+  return schedule;
+}
+
 }  // namespace rfsp

@@ -86,6 +86,10 @@ class AlgW final : public WriteAllProgram {
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.progress.x_base; }
 
+  // The fixed four-phase iteration of [KS 89]: count / alloc / work /
+  // update, by slot mod the iteration length (observability attribution).
+  std::optional<PhaseSchedule> phase_schedule() const override;
+
   // goal() is the progress-tree root reaching the leaf total (stamp 0: W
   // is standalone-only).
   std::optional<GoalCells> goal_cells() const override {

@@ -207,4 +207,11 @@ bool AlgX::goal(const SharedMemory& mem) const {
   return payload_of(mem.read(layout_.d(1)), config_.stamp) != 0;
 }
 
+std::optional<PhaseSchedule> AlgX::phase_schedule() const {
+  PhaseSchedule schedule;
+  schedule.names = {"descend"};
+  schedule.phase_of = [](Slot) { return std::uint32_t{0}; };
+  return schedule;
+}
+
 }  // namespace rfsp

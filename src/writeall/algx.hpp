@@ -129,6 +129,11 @@ class AlgX final : public WriteAllProgram {
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.x_base; }
 
+  // X has no global phase structure (every decision is local): a single
+  // "descend" phase, so per-phase breakdowns stay comparable across
+  // algorithms and the sink still gets one phase event per run.
+  std::optional<PhaseSchedule> phase_schedule() const override;
+
   // goal() is the root of the d heap turning non-zero.
   std::optional<GoalCells> goal_cells() const override {
     return GoalCells{layout_.d(1), 1};

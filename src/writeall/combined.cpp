@@ -35,4 +35,20 @@ bool CombinedVX::goal(const SharedMemory& mem) const {
   return payload_of(mem.read(layout_.done), config_.stamp) != 0;
 }
 
+std::optional<PhaseSchedule> CombinedVX::phase_schedule() const {
+  PhaseSchedule schedule;
+  schedule.names = {"v-alloc", "v-work", "v-update", "x-descend"};
+  const Slot iteration = layout_.v.iteration;
+  const Slot alloc_end = layout_.v.phase_alloc;
+  const Slot work_end = layout_.v.phase_alloc + layout_.v.phase_work;
+  schedule.phase_of = [iteration, alloc_end, work_end](Slot slot) {
+    if (slot % 2 != 0) return std::uint32_t{3};
+    // V's virtual clock runs at stride 2 over the even slots.
+    const Slot phi = (slot / 2) % iteration;
+    if (phi < alloc_end) return std::uint32_t{0};
+    return phi < work_end ? std::uint32_t{1} : std::uint32_t{2};
+  };
+  return schedule;
+}
+
 }  // namespace rfsp

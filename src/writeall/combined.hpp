@@ -58,6 +58,11 @@ class CombinedVX final : public WriteAllProgram {
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.v.x_base; }
 
+  // The interleave's schedule: odd slots are X's ("x-descend"), even slots
+  // follow V's three-phase iteration on the stride-2 virtual clock
+  // ("v-alloc" / "v-work" / "v-update"). Observability attribution only.
+  std::optional<PhaseSchedule> phase_schedule() const override;
+
   // goal() is the shared completion flag turning non-zero.
   std::optional<GoalCells> goal_cells() const override {
     return GoalCells{layout_.done, 1};

@@ -1,0 +1,448 @@
+// Tests for the observability layer (src/obs): metrics primitives, sink
+// event streams, per-phase attribution, and the reconstruction invariants
+// documented in obs/trace.hpp — an event stream alone must re-derive the
+// exact WorkTally the engine accounted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/adversaries.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/threaded.hpp"
+#include "pram/engine.hpp"
+#include "sim/simulator.hpp"
+#include "programs/programs.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics primitives
+
+TEST(Histogram, Log2Buckets) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, Moments) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(0);
+  h.observe(3);
+  h.observe(9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.max(), 9u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // the zero
+  EXPECT_EQ(h.bucket(2), 1u);  // 3 in [2,4)
+  EXPECT_EQ(h.bucket(4), 1u);  // 9 in [8,16)
+}
+
+TEST(MetricsRegistry, FindOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.b");
+  c.add(2);
+  reg.counter("a.b").add(3);
+  EXPECT_EQ(c.value(), 5u);  // same object both times
+  reg.gauge("g").set(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 1.5);
+}
+
+TEST(MetricsRegistry, JsonSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(3);
+  reg.gauge("ratio").set(2.5);
+  reg.histogram("sizes").observe(5);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"runs\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"sizes\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("[3, 1]"), std::string::npos);  // 5 lands in bucket 3
+}
+
+// ---------------------------------------------------------------------------
+// Engine event streams
+
+WriteAllOutcome observed_run(WriteAllAlgo algo, Adversary& adversary,
+                             CollectingTraceSink& sink, Addr n = 512,
+                             Pid p = 64, EngineOptions options = {}) {
+  options.sink = &sink;
+  return run_writeall(algo, {.n = n, .p = p, .seed = 1}, adversary, options);
+}
+
+// The headline acceptance criterion: on an adversarial V run, the event
+// stream alone reconstructs the exact WorkTally.
+TEST(TraceSink, ReconstructsExactTallyFromEvents) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  CollectingTraceSink sink;
+  const WriteAllOutcome out =
+      observed_run(WriteAllAlgo::kV, adversary, sink);
+  ASSERT_TRUE(out.solved);
+  ASSERT_GT(out.run.tally.pattern_size(), 0u);
+
+  const WorkTally rebuilt = sink.reconstruct_tally();
+  EXPECT_EQ(rebuilt.completed_work, out.run.tally.completed_work);
+  EXPECT_EQ(rebuilt.attempted_work, out.run.tally.attempted_work);
+  EXPECT_EQ(rebuilt.failures, out.run.tally.failures);
+  EXPECT_EQ(rebuilt.restarts, out.run.tally.restarts);
+  EXPECT_EQ(rebuilt.slots, out.run.tally.slots);
+  EXPECT_EQ(rebuilt.halted, out.run.tally.halted);
+  EXPECT_EQ(rebuilt.peak_live, out.run.tally.peak_live);
+}
+
+TEST(TraceSink, EventOrderWithinSlot) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  CollectingTraceSink sink;
+  const WriteAllOutcome out =
+      observed_run(WriteAllAlgo::kV, adversary, sink);
+  ASSERT_TRUE(out.solved);
+
+  // Slots are non-decreasing, and within a slot the order is
+  // kPhase?, kSlot, kCommit, kFailure*, kRestart*, kHalt*.
+  auto rank = [](TraceEventKind kind) {
+    switch (kind) {
+      case TraceEventKind::kPhase: return 0;
+      case TraceEventKind::kSlot: return 1;
+      case TraceEventKind::kCommit: return 2;
+      case TraceEventKind::kFailure: return 3;
+      case TraceEventKind::kRestart: return 4;
+      case TraceEventKind::kHalt: return 5;
+      case TraceEventKind::kRunEnd: return 6;
+    }
+    return 7;
+  };
+  const auto& events = sink.events();
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+    ASSERT_GE(events[i].slot, events[i - 1].slot);
+    if (events[i].slot == events[i - 1].slot) {
+      ASSERT_GE(rank(events[i].kind), rank(events[i - 1].kind))
+          << "slot " << events[i].slot;
+    }
+  }
+  EXPECT_EQ(events.back().kind, TraceEventKind::kRunEnd);
+  EXPECT_TRUE(events.back().goal_met);
+}
+
+TEST(TraceSink, ParallelStreamMatchesSequential) {
+  auto jsonl_of = [](unsigned threads) {
+    BurstAdversary adversary({.period = 4, .count = 16});
+    std::ostringstream os;
+    JsonlTraceSink sink(os);
+    EngineOptions options;
+    options.cycle_threads = threads;
+    options.sink = &sink;
+    const auto out = run_writeall(WriteAllAlgo::kX,
+                                  {.n = 512, .p = 64, .seed = 1}, adversary,
+                                  options);
+    EXPECT_TRUE(out.solved);
+    return os.str();
+  };
+  EXPECT_EQ(jsonl_of(1), jsonl_of(4));
+}
+
+TEST(TraceSink, JsonlLineFormat) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  std::ostringstream os;
+  JsonlTraceSink sink(os);
+  EngineOptions options;
+  options.sink = &sink;
+  const auto out = run_writeall(WriteAllAlgo::kV,
+                                {.n = 256, .p = 32, .seed = 1}, adversary,
+                                options);
+  ASSERT_TRUE(out.solved);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t count = 0;
+  bool saw_phase = false;
+  while (std::getline(lines, line)) {
+    ASSERT_EQ(line.front(), '{');
+    ASSERT_EQ(line.back(), '}');
+    ASSERT_EQ(line.rfind("{\"e\":\"", 0), 0u) << line;
+    if (line.find("\"e\":\"phase\"") != std::string::npos) {
+      saw_phase = true;
+      EXPECT_NE(line.find("\"name\":\""), std::string::npos);
+    }
+    ++count;
+  }
+  EXPECT_TRUE(saw_phase);
+  // At least one slot+commit pair per slot plus the run_end line.
+  EXPECT_GE(count, 2 * out.run.tally.slots + 1);
+}
+
+TEST(TraceSink, CsvHeaderAndRowShape) {
+  NoFailures none;
+  std::ostringstream os;
+  CsvTraceSink sink(os);
+  EngineOptions options;
+  options.sink = &sink;
+  const auto out = run_writeall(WriteAllAlgo::kSequential,
+                                {.n = 8, .p = 1, .seed = 1}, none, options);
+  ASSERT_TRUE(out.solved);
+  std::istringstream lines(os.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "event,slot,pid,started,completed,failures,restarts,writes,"
+            "phase,name");
+  std::string row;
+  std::size_t rows = 0;
+  const std::size_t commas = std::count(header.begin(), header.end(), ',');
+  while (std::getline(lines, row)) {
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), commas) << row;
+    ++rows;
+  }
+  EXPECT_GE(rows, out.run.tally.slots);
+}
+
+// ---------------------------------------------------------------------------
+// Per-phase attribution
+
+void expect_phases_sum_to_tally(const WriteAllOutcome& out,
+                                std::size_t expected_phases) {
+  ASSERT_EQ(out.run.phases.size(), expected_phases);
+  PhaseWork sum;
+  for (const PhaseWork& phase : out.run.phases) {
+    sum.completed_work += phase.completed_work;
+    sum.attempted_work += phase.attempted_work;
+    sum.failures += phase.failures;
+    sum.restarts += phase.restarts;
+    sum.slots += phase.slots;
+  }
+  EXPECT_EQ(sum.completed_work, out.run.tally.completed_work);
+  EXPECT_EQ(sum.attempted_work, out.run.tally.attempted_work);
+  EXPECT_EQ(sum.failures, out.run.tally.failures);
+  EXPECT_EQ(sum.restarts, out.run.tally.restarts);
+  EXPECT_EQ(sum.slots, out.run.tally.slots);
+}
+
+TEST(PhaseAttribution, VSumsToTally) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  EngineOptions options;
+  options.attribute_phases = true;
+  const auto out = run_writeall(WriteAllAlgo::kV,
+                                {.n = 512, .p = 64, .seed = 1}, adversary,
+                                options);
+  ASSERT_TRUE(out.solved);
+  expect_phases_sum_to_tally(out, 3);
+  EXPECT_EQ(out.run.phases[0].name, "alloc");
+  EXPECT_EQ(out.run.phases[1].name, "work");
+  EXPECT_EQ(out.run.phases[2].name, "update");
+  for (const PhaseWork& phase : out.run.phases) {
+    EXPECT_GT(phase.slots, 0u) << phase.name;
+  }
+}
+
+TEST(PhaseAttribution, WSumsToTally) {
+  // W only terminates without restarts; crash-free keeps it simple.
+  NoFailures none;
+  EngineOptions options;
+  options.attribute_phases = true;
+  const auto out = run_writeall(WriteAllAlgo::kW,
+                                {.n = 512, .p = 64, .seed = 1}, none,
+                                options);
+  ASSERT_TRUE(out.solved);
+  expect_phases_sum_to_tally(out, 4);
+  EXPECT_EQ(out.run.phases[0].name, "count");
+  EXPECT_EQ(out.run.phases[3].name, "update");
+}
+
+TEST(PhaseAttribution, XSumsToTally) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  EngineOptions options;
+  options.attribute_phases = true;
+  const auto out = run_writeall(WriteAllAlgo::kX,
+                                {.n = 512, .p = 64, .seed = 1}, adversary,
+                                options);
+  ASSERT_TRUE(out.solved);
+  expect_phases_sum_to_tally(out, 1);
+  EXPECT_EQ(out.run.phases[0].name, "descend");
+}
+
+TEST(PhaseAttribution, CombinedVXSumsToTally) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  EngineOptions options;
+  options.attribute_phases = true;
+  const auto out = run_writeall(WriteAllAlgo::kCombinedVX,
+                                {.n = 512, .p = 64, .seed = 1}, adversary,
+                                options);
+  ASSERT_TRUE(out.solved);
+  expect_phases_sum_to_tally(out, 4);
+  EXPECT_EQ(out.run.phases[3].name, "x-descend");
+  // Odd slots all belong to X: the interleave gives it ~half the slots.
+  EXPECT_GE(out.run.phases[3].slots, out.run.tally.slots / 2);
+}
+
+TEST(PhaseAttribution, PhaseEventsMatchSchedule) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  CollectingTraceSink sink;
+  const WriteAllOutcome out =
+      observed_run(WriteAllAlgo::kV, adversary, sink, 256, 32);
+  ASSERT_TRUE(out.solved);
+  // kPhase events carry ids within range, copies of the schedule's names,
+  // and never repeat the previous phase (transitions only).
+  std::uint32_t last = ~std::uint32_t{0};
+  std::size_t transitions = 0;
+  for (const TraceEvent& event : sink.events()) {
+    if (event.kind != TraceEventKind::kPhase) continue;
+    ASSERT_LT(event.phase, 3u);
+    EXPECT_NE(event.phase, last);
+    EXPECT_EQ(event.phase_name, out.run.phases[event.phase].name);
+    last = event.phase;
+    ++transitions;
+  }
+  EXPECT_GT(transitions, 3u);  // several iterations' worth
+}
+
+TEST(PhaseAttribution, OffByDefault) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  const auto out = run_writeall(WriteAllAlgo::kV,
+                                {.n = 256, .p = 32, .seed = 1}, adversary);
+  ASSERT_TRUE(out.solved);
+  EXPECT_TRUE(out.run.phases.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine metrics
+
+TEST(EngineMetrics, InvariantsAgainstTally) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  MetricsRegistry metrics;
+  EngineOptions options;
+  options.metrics = &metrics;
+  const Pid p = 64;
+  const auto out = run_writeall(WriteAllAlgo::kV,
+                                {.n = 512, .p = p, .seed = 1}, adversary,
+                                options);
+  ASSERT_TRUE(out.solved);
+  const WorkTally& t = out.run.tally;
+
+  EXPECT_EQ(metrics.counter("engine.completed_work").value(),
+            t.completed_work);
+  EXPECT_EQ(metrics.counter("engine.attempted_work").value(),
+            t.attempted_work);
+  EXPECT_EQ(metrics.counter("engine.failures").value(), t.failures);
+  EXPECT_EQ(metrics.counter("engine.restarts").value(), t.restarts);
+  EXPECT_EQ(metrics.counter("engine.halted").value(), t.halted);
+  EXPECT_EQ(metrics.counter("engine.slots_to_goal").value(), t.slots);
+  EXPECT_DOUBLE_EQ(metrics.gauge("engine.peak_live").value(),
+                   static_cast<double>(t.peak_live));
+  EXPECT_DOUBLE_EQ(metrics.gauge("engine.goal_met").value(), 1.0);
+
+  // live_per_slot observes every slot's started count: count == slots,
+  // sum == S'. restarts_per_processor observes every PID once.
+  const Histogram& live = metrics.histogram("engine.live_per_slot");
+  EXPECT_EQ(live.count(), t.slots);
+  EXPECT_EQ(live.sum(), t.attempted_work);
+  EXPECT_EQ(live.max(), t.peak_live);
+  const Histogram& restarts =
+      metrics.histogram("engine.restarts_per_processor");
+  EXPECT_EQ(restarts.count(), p);
+  EXPECT_EQ(restarts.sum(), t.restarts);
+}
+
+// ---------------------------------------------------------------------------
+// Thread profiling
+
+TEST(ThreadProfile, PopulatedWhenRequested) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  EngineOptions options;
+  options.cycle_threads = 4;
+  options.profile_threads = true;
+  const auto out = run_writeall(WriteAllAlgo::kX,
+                                {.n = 1024, .p = 128, .seed = 1}, adversary,
+                                options);
+  ASSERT_TRUE(out.solved);
+  ASSERT_EQ(out.run.thread_profile.size(), 4u);
+  std::uint64_t total_slots = 0;
+  for (const ThreadProfile& worker : out.run.thread_profile) {
+    total_slots += worker.slots;
+  }
+  EXPECT_GT(total_slots, 0u);
+}
+
+TEST(ThreadProfile, EmptyWithoutOptIn) {
+  BurstAdversary adversary({.period = 4, .count = 16});
+  EngineOptions options;
+  options.cycle_threads = 4;
+  const auto out = run_writeall(WriteAllAlgo::kX,
+                                {.n = 512, .p = 64, .seed = 1}, adversary,
+                                options);
+  ASSERT_TRUE(out.solved);
+  EXPECT_TRUE(out.run.thread_profile.empty());
+  EXPECT_EQ(out.run.commit_wait_ns, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator and threaded-runtime plumbing
+
+TEST(SimObservability, SinkReconstructsTally) {
+  PrefixSumProgram program({1, 2, 3, 4, 5, 6, 7, 8});
+  BurstAdversary adversary({.period = 8, .count = 2});
+  CollectingTraceSink sink;
+  MetricsRegistry metrics;
+  SimOptions options;
+  options.physical_processors = 4;
+  options.sink = &sink;
+  options.metrics = &metrics;
+  const SimResult r = simulate(program, adversary, options);
+  ASSERT_TRUE(r.completed);
+
+  const WorkTally rebuilt = sink.reconstruct_tally();
+  EXPECT_EQ(rebuilt.completed_work, r.tally.completed_work);
+  EXPECT_EQ(rebuilt.attempted_work, r.tally.attempted_work);
+  EXPECT_EQ(rebuilt.failures, r.tally.failures);
+  EXPECT_EQ(rebuilt.restarts, r.tally.restarts);
+  EXPECT_EQ(rebuilt.slots, r.tally.slots);
+  EXPECT_EQ(metrics.counter("engine.completed_work").value(),
+            r.tally.completed_work);
+}
+
+TEST(ThreadedObservability, PerWorkerCountsAndMetrics) {
+  MetricsRegistry metrics;
+  ThreadedOptions options;
+  options.n = 4096;
+  options.workers = 4;
+  options.seed = 7;
+  options.metrics = &metrics;
+  const ThreadedResult result = run_threaded_writeall(options);
+  ASSERT_TRUE(result.solved);
+
+  ASSERT_EQ(result.worker_iterations.size(), 4u);
+  ASSERT_EQ(result.worker_failures.size(), 4u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t it : result.worker_iterations) sum += it;
+  EXPECT_EQ(sum, result.loop_iterations);
+
+  EXPECT_EQ(metrics.counter("threaded.loop_iterations").value(),
+            result.loop_iterations);
+  EXPECT_EQ(metrics.counter("threaded.injected_failures").value(),
+            result.injected_failures);
+  EXPECT_EQ(metrics.histogram("threaded.iterations_per_worker").count(), 4u);
+  EXPECT_GT(metrics.gauge("threaded.wall_seconds").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace rfsp

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "accounting/tally.hpp"
 
 namespace rfsp {
@@ -63,6 +65,79 @@ TEST(WorkTally, MergeAccumulates) {
   EXPECT_EQ(a.pattern_size(), 3u);
   EXPECT_EQ(a.slots, 14u);
   EXPECT_EQ(a.peak_live, 8u);
+}
+
+TEST(WorkTally, MergeTakesPeakLiveMaxNotSum) {
+  // peak_live is a maximum over slots, so merging runs keeps the larger
+  // peak — summing would invent a processor count no slot ever had.
+  WorkTally a, b;
+  a.peak_live = 8;
+  b.peak_live = 3;
+  a.merge(b);
+  EXPECT_EQ(a.peak_live, 8u);
+  b.merge(a);
+  EXPECT_EQ(b.peak_live, 8u);
+}
+
+TEST(WorkTally, MergeAccumulatesHalted) {
+  WorkTally a, b;
+  a.halted = 2;
+  b.halted = 5;
+  a.merge(b);
+  EXPECT_EQ(a.halted, 7u);
+}
+
+TEST(WorkTally, OverheadRatioWithEmptyPattern) {
+  // |F| = 0: σ degenerates to S / |I| exactly.
+  WorkTally t;
+  t.completed_work = 500;
+  EXPECT_DOUBLE_EQ(t.overhead_ratio(100), 5.0);
+  EXPECT_DOUBLE_EQ(t.overhead_ratio(500), 1.0);
+}
+
+TEST(WorkTally, OverheadRatioSmallestInput) {
+  // |I| = 1 is the smallest well-defined input.
+  WorkTally t;
+  t.completed_work = 7;
+  t.failures = 3;
+  t.restarts = 3;
+  EXPECT_DOUBLE_EQ(t.overhead_ratio(1), 1.0);
+  WorkTally idle;
+  EXPECT_DOUBLE_EQ(idle.overhead_ratio(1), 0.0);
+}
+
+TEST(TraceCsv, GoldenOutput) {
+  const SlotStats trace[] = {
+      {.slot = 0, .started = 4, .completed = 3, .failures = 1, .restarts = 0},
+      {.slot = 1, .started = 4, .completed = 4, .failures = 0, .restarts = 2},
+  };
+  std::ostringstream os;
+  write_trace_csv(os, trace);
+  EXPECT_EQ(os.str(),
+            "slot,started,completed,failures,restarts\n"
+            "0,4,3,1,0\n"
+            "1,4,4,0,2\n");
+}
+
+TEST(TraceCsv, EmptyTraceIsHeaderOnly) {
+  std::ostringstream os;
+  write_trace_csv(os, {});
+  EXPECT_EQ(os.str(), "slot,started,completed,failures,restarts\n");
+}
+
+TEST(PhaseCsv, GoldenOutput) {
+  const PhaseWork phases[] = {
+      {.name = "alloc", .completed_work = 10, .attempted_work = 12,
+       .failures = 1, .restarts = 1, .slots = 4},
+      {.name = "work", .completed_work = 20, .attempted_work = 22,
+       .failures = 2, .restarts = 0, .slots = 8},
+  };
+  std::ostringstream os;
+  write_phase_csv(os, phases);
+  EXPECT_EQ(os.str(),
+            "phase,completed,attempted,failures,restarts,slots\n"
+            "alloc,10,12,1,1,4\n"
+            "work,20,22,2,0,8\n");
 }
 
 }  // namespace
