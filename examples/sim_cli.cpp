@@ -21,6 +21,8 @@
 #include "obs/trace.hpp"
 #include "programs/chain.hpp"
 #include "programs/programs.hpp"
+#include "replay/checkpoint.hpp"
+#include "replay/schedule.hpp"
 #include "sim/discipline.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -43,6 +45,12 @@ using namespace rfsp;
                "  --fail PROB     per-slot failure probability (default 0.05)\n"
                "  --restart PROB  per-slot restart probability (default 0.5)\n"
                "  --seed S        seed (default 1)\n"
+               "  --record F      record the fault schedule (JSONL)\n"
+               "  --replay F      replay a recorded schedule instead of the\n"
+               "                  random adversary\n"
+               "  --checkpoint F  save engine checkpoints to F (JSON)\n"
+               "  --checkpoint-every K  checkpoint cadence in slots\n"
+               "  --resume F      restore a checkpoint and continue\n"
                "  --trace-out F   stream engine events to F (JSONL, or CSV\n"
                "                  when F ends in .csv)\n"
                "  --metrics-out F save the run's metrics registry as JSON\n";
@@ -81,9 +89,17 @@ int main(int argc, char** argv) {
   const double fail = std::stod(take("fail", "0.05"));
   const double restart = std::stod(take("restart", "0.5"));
   const std::uint64_t seed = std::stoull(take("seed", "1"));
+  const std::string record_file = take("record", "");
+  const std::string replay_file = take("replay", "");
+  const std::string checkpoint_file = take("checkpoint", "");
+  const Slot checkpoint_every = std::stoull(take("checkpoint-every", "0"));
+  const std::string resume_file = take("resume", "");
   const std::string trace_out = take("trace-out", "");
   const std::string metrics_out = take("metrics-out", "");
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
+  if (checkpoint_every > 0 && checkpoint_file.empty()) {
+    usage("--checkpoint-every needs --checkpoint FILE");
+  }
 
   SimInner inner = SimInner::kCombinedVX;
   if (inner_name == "X") inner = SimInner::kX;
@@ -161,12 +177,22 @@ int main(int argc, char** argv) {
     if (!discipline.ok) return 1;
 
     std::unique_ptr<Adversary> adversary;
-    if (fail <= 0) {
+    if (!replay_file.empty()) {
+      adversary = std::make_unique<ReplayAdversary>(load_schedule(replay_file));
+    } else if (fail <= 0) {
       adversary = std::make_unique<NoFailures>();
     } else {
       adversary = std::make_unique<RandomAdversary>(
           seed ^ 0xadde, RandomAdversaryOptions{.fail_prob = fail,
                                                  .restart_prob = restart});
+    }
+
+    FaultSchedule recorded;
+    Adversary* active = adversary.get();
+    std::unique_ptr<RecordingAdversary> recorder;
+    if (!record_file.empty()) {
+      recorder = std::make_unique<RecordingAdversary>(*adversary, recorded);
+      active = recorder.get();
     }
 
     std::ofstream event_os;
@@ -187,7 +213,18 @@ int main(int argc, char** argv) {
     SimOptions sim_options{.physical_processors = p, .inner = inner};
     sim_options.sink = sink.get();
     if (!metrics_out.empty()) sim_options.metrics = &metrics;
-    const SimResult r = simulate(*program, *adversary, sim_options);
+    if (checkpoint_every > 0) {
+      sim_options.checkpoint_every = checkpoint_every;
+      sim_options.on_checkpoint = [&](const EngineCheckpoint& cp) {
+        save_checkpoint(cp, checkpoint_file);
+      };
+    }
+    EngineCheckpoint resume_cp;
+    if (!resume_file.empty()) {
+      resume_cp = load_checkpoint(resume_file);
+      sim_options.resume = &resume_cp;
+    }
+    const SimResult r = simulate(*program, *active, sim_options);
     const bool correct =
         r.completed && (verifier ? verifier(r.memory)
                                  : r.memory == reference_run(*program));
@@ -202,6 +239,18 @@ int main(int argc, char** argv) {
               << "parallel time    " << t.slots << " update cycles\n"
               << "overhead sigma   "
               << t.overhead_ratio(program->processors()) << '\n';
+    if (!record_file.empty()) {
+      recorded.meta["kind"] = "simulation";
+      recorded.meta["program"] = name;
+      recorded.meta["n"] = std::to_string(n);
+      recorded.meta["p"] = std::to_string(p);
+      recorded.meta["inner"] = inner_name;
+      recorded.meta["seed"] = std::to_string(seed);
+      recorded.meta["status"] = correct ? "solved" : "unsolved";
+      save_schedule(recorded, record_file);
+      std::cout << "schedule saved to " << record_file << " ("
+                << recorded.entries.size() << " slots)\n";
+    }
     if (!trace_out.empty()) {
       std::cout << "events saved to  " << trace_out << '\n';
     }
@@ -212,8 +261,14 @@ int main(int argc, char** argv) {
       std::cout << "metrics saved to " << metrics_out << '\n';
     }
     return correct ? 0 : 1;
+  } catch (const ModelViolation& mv) {
+    std::cerr << "model violation: " << mv.what() << '\n';
+    return 3;
+  } catch (const AdversaryViolation& av) {
+    std::cerr << "adversary violation: " << av.what() << '\n';
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return 5;
   }
 }

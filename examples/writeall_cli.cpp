@@ -2,11 +2,27 @@
 // the command line; export per-slot traces (CSV) and failure patterns
 // (text), or replay a saved pattern as an off-line adversary.
 //
+// Resilience tooling (docs/resilience.md): --record captures the run's
+// fault schedule as a portable JSONL reproducer, --replay re-runs one,
+// --checkpoint/--checkpoint-every/--resume drive engine checkpointing
+// (with --crash-at-slot simulating a kill for scripts/kill_resume.sh),
+// and --shrink-out minimizes a recorded violation before archiving it.
+//
+// Exit codes: 0 solved, 1 unsolved, 2 usage, 3 model violation,
+// 4 adversary violation, 5 other error.
+//
 // Examples:
 //   writeall_cli --algo X --n 4096 --p 256 --adversary random --fail 0.1
 //   writeall_cli --algo VX --n 1024 --p 1024 --adversary halving
 //                --trace run.csv --pattern-out run.pattern
-//   writeall_cli --algo ACC --n 1024 --p 1024 --pattern-in run.pattern
+//   writeall_cli --algo X --n 1024 --p 64 --adversary random
+//                --record run.schedule.jsonl
+//   writeall_cli --replay run.schedule.jsonl
+//   writeall_cli --algo VX --n 4096 --p 256 --adversary thrashing
+//                --checkpoint ck.json --checkpoint-every 64
+//   writeall_cli --algo VX --n 4096 --p 256 --adversary thrashing
+//                --resume ck.json
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -20,6 +36,10 @@
 #include "fault/stalkers.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "replay/checkpoint.hpp"
+#include "replay/repro.hpp"
+#include "replay/schedule.hpp"
+#include "replay/shrink.hpp"
 #include "util/table.hpp"
 #include "writeall/algv.hpp"
 #include "writeall/algx.hpp"
@@ -39,6 +59,7 @@ using namespace rfsp;
       "  --n N              array size (default 1024)\n"
       "  --p P              processors (default N)\n"
       "  --seed S           seed for randomized pieces (default 1)\n"
+      "  --max-slots K      stop unsolved after K slots (engine default)\n"
       "  --adversary NAME   none|random|burst|thrashing|halving|\n"
       "                     postorder-stalker|leaf-stalker|iteration-killer\n"
       "                     (default none)\n"
@@ -48,6 +69,16 @@ using namespace rfsp;
       "  --burst-count K    burst adversary victims per burst (P/4)\n"
       "  --pattern-in FILE  replay a saved pattern (off-line adversary)\n"
       "  --pattern-out FILE save the run's failure pattern\n"
+      "  --record FILE      record the fault schedule (JSONL reproducer)\n"
+      "  --replay FILE      replay a recorded schedule; its meta supplies\n"
+      "                     algo/n/p/seed defaults\n"
+      "  --checkpoint FILE  save engine checkpoints to FILE (JSON)\n"
+      "  --checkpoint-every K  checkpoint cadence in slots (with --checkpoint)\n"
+      "  --resume FILE      restore a checkpoint and continue the run\n"
+      "  --crash-at-slot S  simulate a kill at the first checkpoint with\n"
+      "                     slot >= S (the file keeps the previous one)\n"
+      "  --shrink-out FILE  on a violation, minimize the recorded schedule\n"
+      "                     and save the reproducer (needs --record)\n"
       "  --trace FILE       save the per-slot trace as CSV\n"
       "  --trace-out FILE   stream engine events to FILE (JSONL, or CSV\n"
       "                     when FILE ends in .csv)\n"
@@ -62,6 +93,13 @@ std::map<std::string, WriteAllAlgo> algo_names() {
     m.emplace(std::string(to_string(algo)), algo);
   }
   return m;
+}
+
+bool schedule_has_torn(const FaultSchedule& s) {
+  for (const ScheduleEntry& e : s.entries) {
+    if (!e.decision.torn.empty()) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -83,10 +121,36 @@ int main(int argc, char** argv) {
     return value;
   };
 
-  const std::string algo_name = take("algo", "VX");
-  const Addr n = std::stoull(take("n", "1024"));
-  const Pid p = static_cast<Pid>(std::stoull(take("p", std::to_string(n))));
-  const std::uint64_t seed = std::stoull(take("seed", "1"));
+  // Load a replay schedule up front: its meta map supplies algo/n/p/seed
+  // defaults, so `writeall_cli --replay repro.jsonl` alone re-runs a
+  // self-describing reproducer.
+  const std::string replay_file = take("replay", "");
+  FaultSchedule replay_schedule;
+  bool have_replay = false;
+  if (!replay_file.empty()) {
+    try {
+      replay_schedule = load_schedule(replay_file);
+      have_replay = true;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 5;
+    }
+  }
+  auto meta_or = [&](const char* key, std::string fallback) {
+    if (have_replay) {
+      const auto it = replay_schedule.meta.find(key);
+      if (it != replay_schedule.meta.end()) return it->second;
+    }
+    return fallback;
+  };
+
+  const std::string algo_name = take("algo", meta_or("algo", "VX"));
+  const Addr n = std::stoull(take("n", meta_or("n", "1024")));
+  const Pid p =
+      static_cast<Pid>(std::stoull(take("p", meta_or("p", std::to_string(n)))));
+  const std::uint64_t seed = std::stoull(take("seed", meta_or("seed", "1")));
+  const Slot max_slots = std::stoull(
+      take("max-slots", meta_or("max_slots", std::to_string(Slot{1} << 26))));
   const std::string adversary_name = take("adversary", "none");
   const double fail = std::stod(take("fail", "0.05"));
   const double restart = std::stod(take("restart", "0.5"));
@@ -96,11 +160,26 @@ int main(int argc, char** argv) {
                                                            std::max(1u, p / 4)))));
   const std::string pattern_in = take("pattern-in", "");
   const std::string pattern_out = take("pattern-out", "");
+  const std::string record_file = take("record", "");
+  const std::string checkpoint_file = take("checkpoint", "");
+  const Slot checkpoint_every = std::stoull(take("checkpoint-every", "0"));
+  const std::string resume_file = take("resume", "");
+  const Slot crash_at = std::stoull(take("crash-at-slot", "0"));
+  const std::string shrink_out = take("shrink-out", "");
   const std::string trace_file = take("trace", "");
   const std::string trace_out = take("trace-out", "");
   const std::string metrics_out = take("metrics-out", "");
   const bool show_phases = take("phases", "0") != "0";
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
+  if (checkpoint_every > 0 && checkpoint_file.empty()) {
+    usage("--checkpoint-every needs --checkpoint FILE");
+  }
+  if (crash_at > 0 && checkpoint_every == 0) {
+    usage("--crash-at-slot needs --checkpoint-every");
+  }
+  if (!shrink_out.empty() && record_file.empty()) {
+    usage("--shrink-out needs --record");
+  }
 
   const auto algos = algo_names();
   const auto algo_it = algos.find(algo_name);
@@ -117,7 +196,9 @@ int main(int argc, char** argv) {
       }
       return AlgX(config).layout();
     };
-    if (!pattern_in.empty()) {
+    if (have_replay) {
+      adversary = std::make_unique<ReplayAdversary>(replay_schedule);
+    } else if (!pattern_in.empty()) {
       std::ifstream in(pattern_in);
       if (!in) usage("cannot read " + pattern_in);
       std::stringstream buffer;
@@ -150,9 +231,70 @@ int main(int argc, char** argv) {
       usage("unknown adversary " + adversary_name);
     }
 
+    // Recording wraps whichever adversary was chosen (replay included, so a
+    // replayed run can be re-recorded to a fresh file).
+    FaultSchedule recorded;
+    Adversary* active = adversary.get();
+    std::unique_ptr<RecordingAdversary> recorder;
+    if (!record_file.empty()) {
+      recorder = std::make_unique<RecordingAdversary>(*adversary, recorded);
+      active = recorder.get();
+    }
+
     EngineOptions options;
+    options.max_slots = max_slots;
+    options.bit_atomic_writes = have_replay && schedule_has_torn(replay_schedule);
     options.record_pattern = !pattern_out.empty();
     options.record_trace = !trace_file.empty();
+
+    ReproSpec spec;
+    spec.algo = algo;
+    spec.n = n;
+    spec.p = p;
+    spec.seed = seed;
+    spec.max_slots = max_slots;
+    spec.bit_atomic_writes = options.bit_atomic_writes;
+
+    // Saves the recorded schedule stamped with its observed outcome; on a
+    // violation the offending decision is already in `recorded`.
+    const auto dump_recording = [&](ProbeStatus status,
+                                    const std::string& note) {
+      if (record_file.empty()) return;
+      write_meta(spec, recorded, status, note);
+      save_schedule(recorded, record_file);
+      std::cout << "schedule saved to " << record_file << " ("
+                << recorded.entries.size() << " slots, "
+                << recorded.move_count() << " moves)\n";
+    };
+
+    Slot last_saved_slot = 0;
+    bool have_saved_checkpoint = false;
+    if (checkpoint_every > 0) {
+      options.checkpoint_every = checkpoint_every;
+      options.on_checkpoint = [&](const EngineCheckpoint& cp) {
+        // The crash check runs *before* the save: the file keeps the
+        // previous checkpoint and a resumed run re-executes the gap —
+        // exactly the torn-down state scripts/kill_resume.sh exercises.
+        if (crash_at > 0 && cp.slot >= crash_at) {
+          std::cout << "simulated crash at slot " << cp.slot
+                    << " (checkpoint on disk: "
+                    << (have_saved_checkpoint ? std::to_string(last_saved_slot)
+                                              : std::string("none"))
+                    << ")\n";
+          std::exit(0);
+        }
+        save_checkpoint(cp, checkpoint_file);
+        last_saved_slot = cp.slot;
+        have_saved_checkpoint = true;
+      };
+    }
+
+    EngineCheckpoint resume_cp;
+    const EngineCheckpoint* resume_ptr = nullptr;
+    if (!resume_file.empty()) {
+      resume_cp = load_checkpoint(resume_file);
+      resume_ptr = &resume_cp;
+    }
 
     std::ofstream event_os;
     std::unique_ptr<TraceSink> sink;
@@ -172,13 +314,49 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) options.metrics = &metrics;
     options.attribute_phases = show_phases;
 
-    const WriteAllOutcome out = run_writeall(algo, config, *adversary, options);
+    // Violation path: diagnose, dump the recorded reproducer, optionally
+    // shrink it, exit with the class-specific code.
+    const auto handle_violation = [&](int exit_code, const char* kind,
+                                      const char* what,
+                                      const ViolationContext& ctx,
+                                      ProbeStatus status) {
+      std::cerr << kind << ": " << what << '\n';
+      if (ctx.slot >= 0) std::cerr << "  slot: " << ctx.slot << '\n';
+      if (ctx.pid >= 0) std::cerr << "  pid:  " << ctx.pid << '\n';
+      if (!ctx.move.empty()) std::cerr << "  move: " << ctx.move << '\n';
+      dump_recording(status, what);
+      if (!shrink_out.empty()) {
+        const ShrinkResult shrunk = shrink_schedule(
+            recorded,
+            [&](const FaultSchedule& s) {
+              return probe(spec, s).status == status;
+            });
+        FaultSchedule minimal = shrunk.schedule;
+        write_meta(spec, minimal, status, what);
+        save_schedule(minimal, shrink_out);
+        std::cout << "minimized " << shrunk.initial_moves << " -> "
+                  << shrunk.final_moves << " moves in " << shrunk.probes
+                  << " probes; reproducer saved to " << shrink_out << '\n';
+      }
+      return exit_code;
+    };
+
+    WriteAllOutcome out;
+    try {
+      out = run_writeall(algo, config, *active, options, resume_ptr);
+    } catch (const ModelViolation& mv) {
+      return handle_violation(3, "model violation", mv.what(), mv.context,
+                              ProbeStatus::kModelViolation);
+    } catch (const AdversaryViolation& av) {
+      return handle_violation(4, "adversary violation", av.what(), av.context,
+                              ProbeStatus::kAdversaryViolation);
+    }
 
     const auto& t = out.run.tally;
     std::cout << "algorithm        " << to_string(algo) << "\n"
               << "N / P            " << n << " / " << p << "\n"
               << "adversary        "
-              << (pattern_in.empty() ? adversary->name() : "replay") << "\n"
+              << (pattern_in.empty() ? active->name() : "replay") << "\n"
               << "solved           " << (out.solved ? "yes" : "NO") << "\n"
               << "completed S      " << t.completed_work << "\n"
               << "attempted S'     " << t.attempted_work << "\n"
@@ -187,6 +365,8 @@ int main(int argc, char** argv) {
               << "parallel time    " << t.slots << " update cycles\n"
               << "overhead sigma   " << t.overhead_ratio(n) << "\n";
 
+    dump_recording(out.solved ? ProbeStatus::kSolved : ProbeStatus::kUnsolved,
+                   "");
     if (!pattern_out.empty()) {
       std::ofstream os(pattern_out);
       os << pattern_to_text(out.run.pattern);
@@ -221,6 +401,6 @@ int main(int argc, char** argv) {
     return out.solved ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return 5;
   }
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Kill-and-resume demonstration (docs/resilience.md §3): run a Write-All
+# workload three ways and prove the checkpoint/restore path is bit-exact.
+#
+#   1. baseline      — straight run, no checkpointing;
+#   2. crashed       — same run with --checkpoint/--checkpoint-every, killed
+#                      (via --crash-at-slot, a simulated hard exit inside the
+#                      checkpoint hook) partway through; the file on disk
+#                      holds a checkpoint OLDER than the crash point, so the
+#                      resume must re-execute the gap;
+#   3. resumed       — restore the checkpoint and run to completion.
+#
+# The resumed run's S / S' / |F| / parallel-time lines must equal the
+# baseline's exactly; any divergence exits nonzero. CI runs this script.
+#
+# Usage: scripts/kill_resume.sh [build-dir] [algo] [n] [p]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+algo=${2:-VX}
+n=${3:-4096}
+p=${4:-256}
+
+cli="$build_dir/examples/writeall_cli"
+if [ ! -x "$cli" ]; then
+  echo "error: $cli not found — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+common=(--algo "$algo" --n "$n" --p "$p" --adversary thrashing)
+fingerprint() {
+  grep -E "solved|completed S|attempted S'|\|F\||parallel time" "$1"
+}
+
+echo "== baseline run"
+"$cli" "${common[@]}" >"$workdir/baseline.txt"
+fingerprint "$workdir/baseline.txt"
+
+echo "== crashed run (checkpoint every 64 slots, killed at slot >= 512)"
+"$cli" "${common[@]}" \
+  --checkpoint "$workdir/ck.json" --checkpoint-every 64 --crash-at-slot 512
+if [ ! -s "$workdir/ck.json" ]; then
+  echo "FAIL: the crashed run left no checkpoint behind" >&2
+  exit 1
+fi
+
+echo "== resumed run"
+"$cli" "${common[@]}" --resume "$workdir/ck.json" >"$workdir/resumed.txt"
+fingerprint "$workdir/resumed.txt"
+
+if diff <(fingerprint "$workdir/baseline.txt") \
+        <(fingerprint "$workdir/resumed.txt") >"$workdir/diff.txt"; then
+  echo "PASS: resumed run is bit-identical to the baseline"
+else
+  echo "FAIL: resumed run diverged from the baseline:" >&2
+  cat "$workdir/diff.txt" >&2
+  exit 1
+fi

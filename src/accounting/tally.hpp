@@ -32,6 +32,10 @@ struct WorkTally {
   double overhead_ratio(std::uint64_t input_size) const;
 
   void merge(const WorkTally& other);
+
+  // Bit-exact equality — the determinism oracle of the record/replay and
+  // checkpoint/restore tests (src/replay, docs/resilience.md).
+  friend bool operator==(const WorkTally&, const WorkTally&) = default;
 };
 
 // Per-slot time series, recorded by the engine when

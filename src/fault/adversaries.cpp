@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/wordio.hpp"
 
 namespace rfsp {
 
@@ -76,6 +77,20 @@ FaultDecision RandomAdversary::decide(const MachineView& view) {
   return d;
 }
 
+void RandomAdversary::save_state(std::vector<std::uint64_t>& out) const {
+  U64Writer w(out);
+  for (std::uint64_t word : rng_.state()) w.put(word);
+  w.put(pattern_used_);
+}
+
+void RandomAdversary::load_state(std::span<const std::uint64_t> data) {
+  U64Reader r(data);
+  std::array<std::uint64_t, 4> s;
+  for (auto& word : s) word = r.get();
+  rng_.set_state(s);
+  pattern_used_ = r.get();
+}
+
 // ---------------------------------------------------------------------------
 // ScheduledAdversary
 
@@ -130,6 +145,18 @@ FaultDecision ScheduledAdversary::decide(const MachineView& view) {
   return d;
 }
 
+void ScheduledAdversary::save_state(std::vector<std::uint64_t>& out) const {
+  U64Writer w(out);
+  w.put(next_event_);
+  w.put(skipped_);
+}
+
+void ScheduledAdversary::load_state(std::span<const std::uint64_t> data) {
+  U64Reader r(data);
+  next_event_ = static_cast<std::size_t>(r.get());
+  skipped_ = r.get();
+}
+
 // ---------------------------------------------------------------------------
 // BurstAdversary
 
@@ -163,6 +190,15 @@ FaultDecision BurstAdversary::decide(const MachineView& view) {
   return d;
 }
 
+void BurstAdversary::save_state(std::vector<std::uint64_t>& out) const {
+  out.push_back(pattern_used_);
+}
+
+void BurstAdversary::load_state(std::span<const std::uint64_t> data) {
+  U64Reader r(data);
+  pattern_used_ = r.get();
+}
+
 // ---------------------------------------------------------------------------
 // ThrashingAdversary
 
@@ -185,6 +221,15 @@ FaultDecision ThrashingAdversary::decide(const MachineView& view) {
     pattern_used_ += 2;
   }
   return d;
+}
+
+void ThrashingAdversary::save_state(std::vector<std::uint64_t>& out) const {
+  out.push_back(pattern_used_);
+}
+
+void ThrashingAdversary::load_state(std::span<const std::uint64_t> data) {
+  U64Reader r(data);
+  pattern_used_ = r.get();
 }
 
 }  // namespace rfsp

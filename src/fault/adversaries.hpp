@@ -45,6 +45,8 @@ class RandomAdversary final : public Adversary {
 
   std::string_view name() const override { return "random"; }
   FaultDecision decide(const MachineView& view) override;
+  void save_state(std::vector<std::uint64_t>& out) const override;
+  void load_state(std::span<const std::uint64_t> data) override;
 
  private:
   Rng rng_;
@@ -63,6 +65,8 @@ class ScheduledAdversary final : public Adversary {
 
   std::string_view name() const override { return "scheduled"; }
   FaultDecision decide(const MachineView& view) override;
+  void save_state(std::vector<std::uint64_t>& out) const override;
+  void load_state(std::span<const std::uint64_t> data) override;
 
   std::uint64_t skipped() const { return skipped_; }
 
@@ -85,6 +89,8 @@ class BurstAdversary final : public Adversary {
 
   std::string_view name() const override { return "burst"; }
   FaultDecision decide(const MachineView& view) override;
+  void save_state(std::vector<std::uint64_t>& out) const override;
+  void load_state(std::span<const std::uint64_t> data) override;
 
  private:
   BurstAdversaryOptions opt_;
@@ -100,6 +106,8 @@ class ThrashingAdversary final : public Adversary {
 
   std::string_view name() const override { return "thrashing"; }
   FaultDecision decide(const MachineView& view) override;
+  void save_state(std::vector<std::uint64_t>& out) const override;
+  void load_state(std::span<const std::uint64_t> data) override;
 
  private:
   std::uint64_t max_pattern_;

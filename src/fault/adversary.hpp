@@ -18,6 +18,8 @@
 // RandomAdversary).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -39,6 +41,8 @@ struct TornWrite {
   Pid pid = 0;
   std::size_t write_index = 0;
   unsigned keep_bits = 0;  // < 64; bit writes themselves stay atomic
+
+  friend bool operator==(const TornWrite&, const TornWrite&) = default;
 };
 
 struct FaultDecision {
@@ -57,6 +61,8 @@ struct FaultDecision {
     return fail_mid_cycle.empty() && fail_after_cycle.empty() &&
            restart.empty() && torn.empty();
   }
+
+  friend bool operator==(const FaultDecision&, const FaultDecision&) = default;
 };
 
 class Adversary {
@@ -68,6 +74,16 @@ class Adversary {
   // Produce this slot's failures/restarts given full knowledge of the
   // machine. Called exactly once per slot, in slot order.
   virtual FaultDecision decide(const MachineView& view) = 0;
+
+  // Checkpoint hooks (src/replay, docs/resilience.md): serialize the
+  // adversary's mutable state (RNG, budgets, cursors) so a run resumed from
+  // an engine checkpoint sees exactly the decisions the uninterrupted run
+  // would have. Stateless adversaries keep the defaults; stateful ones
+  // append to `out` and must accept their own output in load_state.
+  virtual void save_state(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+  virtual void load_state(std::span<const std::uint64_t> data) { (void)data; }
 };
 
 }  // namespace rfsp

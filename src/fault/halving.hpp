@@ -42,6 +42,12 @@ class HalvingAdversary final : public Adversary {
 
   std::string_view name() const override { return "halving"; }
   FaultDecision decide(const MachineView& view) override;
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    out.push_back(rounds_);
+  }
+  void load_state(std::span<const std::uint64_t> data) override {
+    if (!data.empty()) rounds_ = data.front();
+  }
 
   // How many halving rounds were executed (for assertions in tests).
   std::uint64_t rounds() const { return rounds_; }

@@ -18,31 +18,42 @@ namespace rfsp {
 // CycleContext (declared in pram/program.hpp; read/write are inline there)
 
 CycleContext::CycleContext(const SharedMemory& mem, CycleTrace& trace,
-                           Slot slot, std::size_t read_budget,
+                           Pid pid, Slot slot, std::size_t read_budget,
                            std::size_t write_budget, bool snapshot_allowed,
                            bool log_reads)
-    : mem_(mem), trace_(trace), slot_(slot), read_budget_(read_budget),
-      write_budget_(write_budget), snapshot_allowed_(snapshot_allowed),
-      log_reads_(log_reads) {}
+    : mem_(mem), trace_(trace), pid_(pid), slot_(slot),
+      read_budget_(read_budget), write_budget_(write_budget),
+      snapshot_allowed_(snapshot_allowed), log_reads_(log_reads) {}
+
+namespace {
+ViolationContext cycle_ctx(Slot slot, Pid pid, const char* move) {
+  return {static_cast<std::int64_t>(slot), static_cast<std::int64_t>(pid),
+          move};
+}
+}  // namespace
 
 void CycleContext::throw_read_budget() const {
   throw ModelViolation("update cycle exceeded its read budget of " +
-                       std::to_string(read_budget_));
+                           std::to_string(read_budget_),
+                       cycle_ctx(slot_, pid_, "read"));
 }
 
 void CycleContext::throw_write_budget() const {
   throw ModelViolation("update cycle exceeded its write budget of " +
-                       std::to_string(write_budget_));
+                           std::to_string(write_budget_),
+                       cycle_ctx(slot_, pid_, "write"));
 }
 
 std::span<const Word> CycleContext::snapshot() {
   if (!snapshot_allowed_) {
     throw ModelViolation(
         "whole-memory snapshot read requires EngineOptions::unit_cost_snapshot"
-        " (the strong model of §3)");
+        " (the strong model of §3)",
+        cycle_ctx(slot_, pid_, "snapshot"));
   }
   if (trace_.used_snapshot || reads_used_ != 0) {
-    throw ModelViolation("snapshot consumes the entire read budget");
+    throw ModelViolation("snapshot consumes the entire read budget",
+                         cycle_ctx(slot_, pid_, "snapshot"));
   }
   trace_.used_snapshot = true;
   return mem_.words();
@@ -273,7 +284,7 @@ void Engine::commit_cell(Addr a, Word v) {
 void Engine::cycle_one(Pid pid, LaneLog& lane) {
   CycleTrace& trace = traces_[pid];
   trace.reset_for_cycle(log_reads_);
-  CycleContext ctx(mem_, trace, slot_, options_.read_budget,
+  CycleContext ctx(mem_, trace, pid, slot_, options_.read_budget,
                    options_.write_budget, options_.unit_cost_snapshot,
                    log_reads_);
   const bool halting = !states_[pid]->cycle(ctx);
@@ -360,42 +371,57 @@ void Engine::validate_decision(const FaultDecision& d) {
   if (d.empty()) return;
   const Pid p = program_.processors();
   ++mark_epoch_;
-  auto check_fail_target = [&](Pid pid) {
-    if (pid >= p) throw AdversaryViolation("failure of out-of-range PID");
+  auto check_fail_target = [&](Pid pid, const char* move) {
+    if (pid >= p) {
+      throw AdversaryViolation("failure of out-of-range PID",
+                               cycle_ctx(slot_, pid, move));
+    }
     if (status_[pid] != ProcStatus::kLive || !traces_[pid].started) {
-      throw AdversaryViolation("failure of a processor that is not live");
+      throw AdversaryViolation("failure of a processor that is not live",
+                               cycle_ctx(slot_, pid, move));
     }
     if (mark_get(pid) != 0) {
-      throw AdversaryViolation("duplicate failure of one processor");
+      throw AdversaryViolation("duplicate failure of one processor",
+                               cycle_ctx(slot_, pid, move));
     }
     mark_set(pid, 1);
   };
-  for (Pid pid : d.fail_mid_cycle) check_fail_target(pid);
-  for (Pid pid : d.fail_after_cycle) check_fail_target(pid);
+  for (Pid pid : d.fail_mid_cycle) check_fail_target(pid, "fail_mid_cycle");
+  for (Pid pid : d.fail_after_cycle) {
+    check_fail_target(pid, "fail_after_cycle");
+  }
   for (const TornWrite& tear : d.torn) {
     if (!options_.bit_atomic_writes) {
       throw AdversaryViolation(
-          "torn writes require EngineOptions::bit_atomic_writes");
+          "torn writes require EngineOptions::bit_atomic_writes",
+          cycle_ctx(slot_, tear.pid, "torn"));
     }
-    check_fail_target(tear.pid);
+    check_fail_target(tear.pid, "torn");
     if (tear.write_index >= traces_[tear.pid].writes.size()) {
       throw AdversaryViolation(
-          "torn write index beyond the cycle's buffered writes");
+          "torn write index beyond the cycle's buffered writes",
+          cycle_ctx(slot_, tear.pid, "torn"));
     }
     if (tear.keep_bits >= 64) {
-      throw AdversaryViolation("torn write must keep fewer than 64 bits");
+      throw AdversaryViolation("torn write must keep fewer than 64 bits",
+                               cycle_ctx(slot_, tear.pid, "torn"));
     }
   }
   for (Pid pid : d.restart) {
-    if (pid >= p) throw AdversaryViolation("restart of out-of-range PID");
+    if (pid >= p) {
+      throw AdversaryViolation("restart of out-of-range PID",
+                               cycle_ctx(slot_, pid, "restart"));
+    }
     // Restart targets must be failed, *after* this decision's failures take
     // effect (an adversary may fail and immediately restart a processor —
     // the restarted state runs from the next slot).
     if (status_[pid] != ProcStatus::kFailed && mark_get(pid) != 1) {
-      throw AdversaryViolation("restart of a processor that is not failed");
+      throw AdversaryViolation("restart of a processor that is not failed",
+                               cycle_ctx(slot_, pid, "restart"));
     }
     if (mark_get(pid) == 2) {
-      throw AdversaryViolation("duplicate restart of one processor");
+      throw AdversaryViolation("duplicate restart of one processor",
+                               cycle_ctx(slot_, pid, "restart"));
     }
     mark_set(pid, 2);  // restart of an old failure, or fail-then-restart
   }
@@ -435,7 +461,8 @@ void Engine::commit_writes(const FaultDecision& d) {
           if (op.value != mem_.read(op.addr)) {
             throw ModelViolation(
                 "COMMON CRCW conflict: concurrent writers disagree at cell " +
-                std::to_string(op.addr));
+                    std::to_string(op.addr),
+                cycle_ctx(slot_, op.pid, "commit"));
           }
           break;
         case CrcwModel::kWeak:
@@ -444,7 +471,8 @@ void Engine::commit_writes(const FaultDecision& d) {
             throw ModelViolation(
                 "WEAK CRCW conflict: concurrent write of a non-designated "
                 "value at cell " +
-                std::to_string(op.addr));
+                    std::to_string(op.addr),
+                cycle_ctx(slot_, op.pid, "commit"));
           }
           break;
         case CrcwModel::kArbitrary:
@@ -454,7 +482,8 @@ void Engine::commit_writes(const FaultDecision& d) {
         case CrcwModel::kCrew:
         case CrcwModel::kErew:
           throw ModelViolation("concurrent write under CREW/EREW at cell " +
-                               std::to_string(op.addr));
+                                   std::to_string(op.addr),
+                               cycle_ctx(slot_, op.pid, "commit"));
       }
     }
   }
@@ -483,7 +512,8 @@ void Engine::check_read_conflicts() const {
   std::sort(read_buf_.begin(), read_buf_.end());
   if (std::adjacent_find(read_buf_.begin(), read_buf_.end()) !=
       read_buf_.end()) {
-    throw ModelViolation("concurrent read under EREW");
+    throw ModelViolation("concurrent read under EREW",
+                         {static_cast<std::int64_t>(slot_), -1, "read"});
   }
 }
 
@@ -556,11 +586,76 @@ void Engine::apply_transitions(const FaultDecision& d) {
   }
 }
 
+EngineCheckpoint Engine::checkpoint(const Adversary* adversary) const {
+  EngineCheckpoint cp;
+  cp.slot = slot_;
+  cp.tally = tally_;
+  const std::span<const Word> words = mem_.words();
+  cp.memory.assign(words.begin(), words.end());
+  cp.status = status_;
+  cp.states.resize(states_.size());
+  for (Pid pid = 0; pid < states_.size(); ++pid) {
+    if (status_[pid] != ProcStatus::kLive) continue;
+    std::vector<Word> blob;
+    if (!states_[pid]->save_state(blob)) {
+      throw ConfigError("program '" + std::string(program_.name()) +
+                        "' does not support checkpointing "
+                        "(ProcessorState::save_state returned false for pid " +
+                        std::to_string(pid) + ")");
+    }
+    cp.states[pid] = std::move(blob);
+  }
+  if (adversary != nullptr) adversary->save_state(cp.adversary);
+  return cp;
+}
+
+void Engine::restore(const EngineCheckpoint& cp, Adversary* adversary) {
+  if (ran_) throw ConfigError("Engine::restore must precede Engine::run");
+  if (cp.memory.size() != mem_.size() ||
+      cp.status.size() != status_.size() ||
+      cp.states.size() != states_.size()) {
+    throw ConfigError("checkpoint shape does not match the program "
+                      "(different N or P?)");
+  }
+  for (Addr a = 0; a < cp.memory.size(); ++a) mem_.write(a, cp.memory[a]);
+  status_ = cp.status;
+  live_pids_.clear();
+  for (Pid pid = 0; pid < states_.size(); ++pid) {
+    traces_[pid].clear();
+    if (status_[pid] != ProcStatus::kLive) {
+      states_[pid].reset();
+      continue;
+    }
+    if (!cp.states[pid].has_value()) {
+      throw ConfigError("checkpoint lacks the private state of live pid " +
+                        std::to_string(pid));
+    }
+    states_[pid] = program_.load_state(pid, *cp.states[pid]);
+    if (states_[pid] == nullptr) {
+      throw ConfigError("program '" + std::string(program_.name()) +
+                        "' cannot rebuild processor states "
+                        "(Program::load_state returned nullptr for pid " +
+                        std::to_string(pid) + ")");
+    }
+    live_pids_.push_back(pid);
+  }
+  slot_ = cp.slot;
+  tally_ = cp.tally;
+  if (incremental_goal_) {
+    goal_unsat_ = 0;
+    for (Addr a = goal_base_; a < goal_end_; ++a) {
+      if (!program_.goal_cell_done(a, mem_.read(a))) ++goal_unsat_;
+    }
+  }
+  if (adversary != nullptr) adversary->load_state(cp.adversary);
+}
+
 RunResult Engine::run(Adversary& adversary) {
   if (ran_) throw ConfigError("Engine::run is single-shot");
   ran_ = true;
 
   RunResult result;
+  const Slot checkpoint_every = options_.checkpoint_every;
 
   for (;;) {
     if (goal_met()) {
@@ -570,6 +665,13 @@ RunResult Engine::run(Adversary& adversary) {
     if (slot_ >= options_.max_slots) {
       result.slot_limit = true;
       break;
+    }
+    // Slot-boundary checkpoint: captured before the slot runs, so a resumed
+    // engine re-executes this very slot first and the continuation is
+    // bit-identical (docs/resilience.md §3).
+    if (checkpoint_every > 0 && options_.on_checkpoint &&
+        slot_ % checkpoint_every == 0) {
+      options_.on_checkpoint(checkpoint(&adversary));
     }
 
     const std::size_t started = run_cycles();
@@ -589,8 +691,9 @@ RunResult Engine::run(Adversary& adversary) {
       // Nobody halted and nobody is live: the adversary stranded a running
       // computation, violating model constraint 2(i).
       throw AdversaryViolation(
-          "no live processor at slot " + std::to_string(slot_) +
-          " while the computation is unfinished (model constraint 2(i))");
+          "no live processor while the computation is unfinished "
+          "(model constraint 2(i))",
+          {static_cast<std::int64_t>(slot_), -1, "strand"});
     }
     tally_.peak_live = std::max<std::uint64_t>(tally_.peak_live, started);
 
@@ -602,8 +705,9 @@ RunResult Engine::run(Adversary& adversary) {
         started - decision.fail_mid_cycle.size() - decision.torn.size();
     if (completed == 0) {
       throw AdversaryViolation(
-          "adversary aborted every started update cycle at slot " +
-          std::to_string(slot_) + " (model constraint 2(i))");
+          "adversary aborted every started update cycle "
+          "(model constraint 2(i))",
+          {static_cast<std::int64_t>(slot_), -1, "fail_mid_cycle"});
     }
 
     if (options_.model == CrcwModel::kErew && options_.detect_read_conflicts) {

@@ -34,6 +34,26 @@ class TraceSink;        // obs/trace.hpp
 class MetricsRegistry;  // obs/metrics.hpp
 class Histogram;        // obs/metrics.hpp
 
+// A complete engine state at a slot boundary (docs/resilience.md §3):
+// restoring it into a fresh Engine and continuing the run is bit-identical
+// to never having stopped. Private processor states serialize through
+// ProcessorState::save_state / Program::load_state; the adversary's mutable
+// state (RNG, budgets) rides along as an opaque word vector captured via
+// Adversary::save_state. JSON persistence lives in replay/checkpoint.hpp.
+struct EngineCheckpoint {
+  Slot slot = 0;
+  WorkTally tally;
+  std::vector<Word> memory;
+  std::vector<ProcStatus> status;
+  // One entry per processor; engaged iff the processor is live (failed and
+  // halted processors have no private memory — §2.1 point 3).
+  std::vector<std::optional<std::vector<Word>>> states;
+  std::vector<std::uint64_t> adversary;
+
+  friend bool operator==(const EngineCheckpoint&,
+                         const EngineCheckpoint&) = default;
+};
+
 struct EngineOptions {
   // Per-update-cycle budgets; the paper fixes "e.g. <= 4" reads and
   // "e.g. <= 2" writes (§2.1). Budgets are constants of the machine,
@@ -97,6 +117,16 @@ struct EngineOptions {
   // Safety valve: stop after this many slots even if the goal is unmet
   // (e.g. algorithm W genuinely need not terminate under restarts).
   Slot max_slots = Slot{1} << 26;
+
+  // --- Checkpointing (src/replay, docs/resilience.md) -----------------------
+
+  // Capture an EngineCheckpoint every this-many slots (at the slot boundary,
+  // before the slot runs) and hand it to on_checkpoint. 0 (the default)
+  // disables the capture entirely; the slot loop then pays one predicted
+  // branch per slot. Requires a program whose ProcessorState::save_state is
+  // implemented — the first capture throws ConfigError otherwise.
+  Slot checkpoint_every = 0;
+  std::function<void(const EngineCheckpoint&)> on_checkpoint;
 
   // --- Observability (src/obs, docs/observability.md) -----------------------
 
@@ -166,6 +196,21 @@ class Engine {
   // Execute the program to completion under `adversary`. Single-shot:
   // calling run twice on one Engine is a ConfigError.
   RunResult run(Adversary& adversary);
+
+  // Capture the complete engine state at the current slot boundary (valid
+  // before run() and from within an on_checkpoint callback). When
+  // `adversary` is given its mutable state is embedded via
+  // Adversary::save_state. Throws ConfigError if any live processor's
+  // state does not implement ProcessorState::save_state.
+  EngineCheckpoint checkpoint(const Adversary* adversary = nullptr) const;
+
+  // Reload a checkpoint into this (not-yet-run) engine: shared memory,
+  // statuses, private states (via Program::load_state), tally, and slot
+  // counter; when `adversary` is given, its state too. A restored run then
+  // continues bit-identically to the uninterrupted one. Throws ConfigError
+  // after run() has started, on a shape mismatch, or when the program
+  // cannot rebuild a live processor's state.
+  void restore(const EngineCheckpoint& cp, Adversary* adversary = nullptr);
 
   // Final (or current) shared memory, for verification.
   const SharedMemory& memory() const { return mem_; }

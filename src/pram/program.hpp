@@ -69,7 +69,7 @@ struct CycleTrace {
 // Per-cycle facilities handed to ProcessorState::cycle by the engine.
 class CycleContext {
  public:
-  CycleContext(const SharedMemory& mem, CycleTrace& trace, Slot slot,
+  CycleContext(const SharedMemory& mem, CycleTrace& trace, Pid pid, Slot slot,
                std::size_t read_budget, std::size_t write_budget,
                bool snapshot_allowed, bool log_reads);
 
@@ -101,6 +101,10 @@ class CycleContext {
   // The global synchronous clock (slot index). See file comment.
   Slot slot() const { return slot_; }
 
+  // The executing processor (diagnostics; algorithms already know their PID
+  // from boot). Budget violations carry it in their ViolationContext.
+  Pid pid() const { return pid_; }
+
   std::size_t reads_used() const { return reads_used_; }
   std::size_t writes_used() const { return trace_.writes.size(); }
 
@@ -110,6 +114,7 @@ class CycleContext {
 
   const SharedMemory& mem_;
   CycleTrace& trace_;
+  Pid pid_;
   Slot slot_;
   std::size_t read_budget_;
   std::size_t write_budget_;
@@ -126,6 +131,16 @@ class ProcessorState {
   // Perform one update cycle. Return false to halt voluntarily (the final
   // cycle still counts as completed work if the adversary lets it finish).
   virtual bool cycle(CycleContext& ctx) = 0;
+
+  // Checkpoint hook (src/replay, docs/resilience.md): append the private
+  // state to `out` as a flat word stream that Program::load_state can turn
+  // back into an identical state. Return false (the default) when the
+  // state is not checkpointable — Engine::checkpoint then throws
+  // ConfigError rather than producing a checkpoint that cannot resume.
+  virtual bool save_state(std::vector<Word>& out) const {
+    (void)out;
+    return false;
+  }
 };
 
 // Opt-in declaration that a Program's goal() is exactly the conjunction
@@ -180,6 +195,18 @@ class Program {
   virtual bool goal_cell_done(Addr addr, Word value) const {
     (void)addr;
     return value != 0;
+  }
+
+  // Checkpoint hook (src/replay): reconstruct processor `pid`'s private
+  // state from the words its ProcessorState::save_state produced. The
+  // loaded state must behave identically to the saved one from the next
+  // slot on — Engine::restore rebuilds every live processor through this.
+  // Return nullptr (the default) for programs without checkpoint support.
+  virtual std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const {
+    (void)pid;
+    (void)data;
+    return nullptr;
   }
 
   // Observability opt-in (see obs/phase.hpp): declare the fixed-length

@@ -1,0 +1,131 @@
+#include "replay/repro.hpp"
+
+#include <cctype>
+
+namespace rfsp {
+
+namespace {
+
+constexpr std::string_view kStatusNames[] = {
+    "solved", "unsolved", "model_violation", "adversary_violation",
+    "check_failure"};
+
+std::uint64_t parse_u64_meta(const std::string& key, const std::string& text) {
+  if (text.empty()) throw ConfigError("schedule meta '" + key + "' is empty");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw ConfigError("schedule meta '" + key + "' is not a number: '" +
+                        text + "'");
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw ConfigError("schedule meta '" + key + "' overflows: '" + text +
+                        "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+WriteAllAlgo algo_from_string(const std::string& text) {
+  for (const WriteAllAlgo algo : all_writeall_algos()) {
+    if (to_string(algo) == text) return algo;
+  }
+  throw ConfigError("schedule meta names unknown algorithm '" + text + "'");
+}
+
+bool has_torn_moves(const FaultSchedule& schedule) {
+  for (const ScheduleEntry& e : schedule.entries) {
+    if (!e.decision.torn.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view to_string(ProbeStatus status) {
+  return kStatusNames[static_cast<int>(status)];
+}
+
+ProbeStatus probe_status_from_string(std::string_view text) {
+  for (int i = 0; i < 5; ++i) {
+    if (kStatusNames[i] == text) return static_cast<ProbeStatus>(i);
+  }
+  throw ConfigError("unknown probe status '" + std::string(text) + "'");
+}
+
+ReproSpec spec_from_meta(const FaultSchedule& schedule) {
+  const auto require = [&](const char* key) -> const std::string& {
+    const auto it = schedule.meta.find(key);
+    if (it == schedule.meta.end()) {
+      throw ConfigError(std::string("schedule meta is missing '") + key +
+                        "' — not a self-describing reproducer");
+    }
+    return it->second;
+  };
+  ReproSpec spec;
+  spec.algo = algo_from_string(require("algo"));
+  spec.n = parse_u64_meta("n", require("n"));
+  spec.p = static_cast<Pid>(parse_u64_meta("p", require("p")));
+  if (const auto it = schedule.meta.find("seed"); it != schedule.meta.end()) {
+    spec.seed = parse_u64_meta("seed", it->second);
+  }
+  if (const auto it = schedule.meta.find("max_slots");
+      it != schedule.meta.end()) {
+    spec.max_slots = parse_u64_meta("max_slots", it->second);
+  }
+  if (const auto it = schedule.meta.find("bit_atomic");
+      it != schedule.meta.end()) {
+    spec.bit_atomic_writes = parse_u64_meta("bit_atomic", it->second) != 0;
+  }
+  return spec;
+}
+
+void write_meta(ReproSpec spec, FaultSchedule& schedule, ProbeStatus expected,
+                const std::string& note) {
+  schedule.meta["algo"] = std::string(to_string(spec.algo));
+  schedule.meta["n"] = std::to_string(spec.n);
+  schedule.meta["p"] = std::to_string(spec.p);
+  schedule.meta["seed"] = std::to_string(spec.seed);
+  schedule.meta["max_slots"] = std::to_string(spec.max_slots);
+  if (spec.bit_atomic_writes) schedule.meta["bit_atomic"] = "1";
+  schedule.meta["status"] = std::string(to_string(expected));
+  if (!note.empty()) schedule.meta["note"] = note;
+}
+
+ProbeResult probe(const ReproSpec& spec, const FaultSchedule& schedule) {
+  ProbeResult result;
+  ReplayAdversary replay(schedule);
+  WriteAllConfig config;
+  config.n = spec.n;
+  config.p = spec.p;
+  config.seed = spec.seed;
+  EngineOptions options;
+  options.max_slots = spec.max_slots;
+  // Torn-write moves are only legal in the bit-atomic model; honoring them
+  // here keeps "replays its own recording" true for bit-level schedules.
+  options.bit_atomic_writes =
+      spec.bit_atomic_writes || has_torn_moves(schedule);
+  try {
+    const WriteAllOutcome outcome =
+        run_writeall(spec.algo, config, replay, options);
+    result.status =
+        outcome.solved ? ProbeStatus::kSolved : ProbeStatus::kUnsolved;
+    result.tally = outcome.run.tally;
+  } catch (const ModelViolation& mv) {
+    result.status = ProbeStatus::kModelViolation;
+    result.message = mv.what();
+    result.context = mv.context;
+  } catch (const AdversaryViolation& av) {
+    result.status = ProbeStatus::kAdversaryViolation;
+    result.message = av.what();
+    result.context = av.context;
+  } catch (const std::logic_error& err) {  // ConfigError, RFSP_CHECK
+    result.status = ProbeStatus::kCheckFailure;
+    result.message = err.what();
+  }
+  return result;
+}
+
+}  // namespace rfsp

@@ -1,0 +1,201 @@
+#include "replay/schedule.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "replay/json.hpp"
+#include "util/error.hpp"
+
+namespace rfsp {
+
+namespace {
+
+void append_pid_array(std::string& out, const char* key,
+                      const std::vector<Pid>& pids, bool& first) {
+  if (pids.empty()) return;
+  if (!first) out += ',';
+  first = false;
+  json::append_string(out, key);
+  out += ":[";
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (i != 0) out += ',';
+    json::append_u64(out, pids[i]);
+  }
+  out += ']';
+}
+
+std::vector<Pid> read_pid_array(const json::Value& entry, const char* key) {
+  std::vector<Pid> out;
+  if (const json::Value* arr = entry.find(key)) {
+    for (const json::Value& v : arr->as_array()) {
+      out.push_back(static_cast<Pid>(v.as_u64()));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t FaultSchedule::move_count() const {
+  std::uint64_t count = 0;
+  for (const ScheduleEntry& e : entries) {
+    count += e.decision.fail_mid_cycle.size() +
+             e.decision.fail_after_cycle.size() + e.decision.restart.size() +
+             e.decision.torn.size();
+  }
+  return count;
+}
+
+std::string schedule_to_jsonl(const FaultSchedule& schedule) {
+  std::string out;
+  out += R"({"format":"rfsp-fault-schedule","version":)";
+  out += std::to_string(FaultSchedule::kFormatVersion);
+  out += R"(,"meta":{)";
+  bool first = true;
+  for (const auto& [key, value] : schedule.meta) {
+    if (!first) out += ',';
+    first = false;
+    json::append_string(out, key);
+    out += ':';
+    json::append_string(out, value);
+  }
+  out += "}}\n";
+
+  for (const ScheduleEntry& e : schedule.entries) {
+    out += R"({"t":)";
+    json::append_u64(out, e.slot);
+    std::string moves;
+    bool mfirst = true;
+    append_pid_array(moves, "mid", e.decision.fail_mid_cycle, mfirst);
+    append_pid_array(moves, "after", e.decision.fail_after_cycle, mfirst);
+    append_pid_array(moves, "restart", e.decision.restart, mfirst);
+    if (!e.decision.torn.empty()) {
+      if (!mfirst) moves += ',';
+      mfirst = false;
+      moves += R"("torn":[)";
+      for (std::size_t i = 0; i < e.decision.torn.size(); ++i) {
+        const TornWrite& t = e.decision.torn[i];
+        if (i != 0) moves += ',';
+        moves += R"({"pid":)";
+        json::append_u64(moves, t.pid);
+        moves += R"(,"w":)";
+        json::append_u64(moves, t.write_index);
+        moves += R"(,"keep":)";
+        json::append_u64(moves, t.keep_bits);
+        moves += '}';
+      }
+      moves += ']';
+    }
+    if (!moves.empty()) {
+      out += ',';
+      out += moves;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+FaultSchedule schedule_from_jsonl(std::string_view text) {
+  FaultSchedule schedule;
+  bool saw_header = false;
+  bool have_prev_slot = false;
+  Slot prev_slot = 0;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    const json::Value v = json::parse(line);
+    if (!saw_header) {
+      if (v.at("format").as_string() != "rfsp-fault-schedule") {
+        throw ConfigError("not an rfsp-fault-schedule file");
+      }
+      if (v.at("version").as_u64() !=
+          static_cast<std::uint64_t>(FaultSchedule::kFormatVersion)) {
+        throw ConfigError("unsupported fault-schedule version " +
+                          std::to_string(v.at("version").as_u64()));
+      }
+      for (const auto& [key, value] : v.at("meta").as_object()) {
+        schedule.meta[key] = value.as_string();
+      }
+      saw_header = true;
+      continue;
+    }
+
+    ScheduleEntry entry;
+    entry.slot = static_cast<Slot>(v.at("t").as_u64());
+    if (have_prev_slot && entry.slot <= prev_slot) {
+      throw ConfigError("fault-schedule entries out of slot order at slot " +
+                        std::to_string(entry.slot));
+    }
+    prev_slot = entry.slot;
+    have_prev_slot = true;
+    entry.decision.fail_mid_cycle = read_pid_array(v, "mid");
+    entry.decision.fail_after_cycle = read_pid_array(v, "after");
+    entry.decision.restart = read_pid_array(v, "restart");
+    if (const json::Value* torn = v.find("torn")) {
+      for (const json::Value& t : torn->as_array()) {
+        TornWrite tear;
+        tear.pid = static_cast<Pid>(t.at("pid").as_u64());
+        tear.write_index = static_cast<std::size_t>(t.at("w").as_u64());
+        tear.keep_bits = static_cast<unsigned>(t.at("keep").as_u64());
+        entry.decision.torn.push_back(tear);
+      }
+    }
+    if (!entry.decision.empty()) schedule.entries.push_back(std::move(entry));
+  }
+  if (!saw_header) throw ConfigError("empty fault-schedule file");
+  return schedule;
+}
+
+void save_schedule(const FaultSchedule& schedule, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot open '" + path + "' for writing");
+  out << schedule_to_jsonl(schedule);
+  out.flush();
+  if (!out) throw ConfigError("failed writing schedule to '" + path + "'");
+}
+
+FaultSchedule load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open schedule file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return schedule_from_jsonl(buf.str());
+}
+
+FaultDecision RecordingAdversary::decide(const MachineView& view) {
+  FaultDecision d = inner_.decide(view);
+  if (!d.empty()) out_.entries.push_back({view.slot(), d});
+  return d;
+}
+
+FaultDecision ReplayAdversary::decide(const MachineView& view) {
+  const auto& entries = schedule_.entries;
+  // Skip entries behind the clock (possible only when a resume landed past
+  // them without load_state — tolerated rather than replayed out of time).
+  while (cursor_ < entries.size() && entries[cursor_].slot < view.slot()) {
+    ++cursor_;
+  }
+  if (cursor_ < entries.size() && entries[cursor_].slot == view.slot()) {
+    return entries[cursor_++].decision;
+  }
+  return {};
+}
+
+void ReplayAdversary::load_state(std::span<const std::uint64_t> data) {
+  if (data.empty()) {
+    cursor_ = 0;
+    return;
+  }
+  cursor_ = data.front();
+  if (cursor_ > schedule_.entries.size()) {
+    throw ConfigError("replay cursor beyond the schedule");
+  }
+}
+
+}  // namespace rfsp

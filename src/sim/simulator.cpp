@@ -264,6 +264,8 @@ class SimulationProgram final : public Program {
   }
 
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const override;
 
   bool goal(const SharedMemory& mem) const override {
     return phase_pass(mem.read(layout_.phase)) >= final_pass_;
@@ -321,6 +323,56 @@ class SimProcState final : public ProcessorState {
     return true;
   }
 
+  // Checkpoint support (docs/resilience.md): the pass index plus the inner
+  // Write-All state's words. The task/config referents are rebuilt from the
+  // pass index on load — only the inner's dynamic fields travel.
+  bool save_state(std::vector<Word>& out) const override {
+    WordWriter w(out);
+    w.put_u64(pass_);
+    w.put_bool(advance_from_.has_value());
+    if (advance_from_) w.put_u64(*advance_from_);
+    w.put_bool(inner_ != nullptr);
+    if (inner_) {
+      w.put_u64(inner_start_);
+      switch (outer_.inner()) {
+        case SimInner::kCombinedVX:
+          static_cast<const CombinedState&>(*inner_).save_words(w);
+          break;
+        case SimInner::kX:
+          static_cast<const AlgXState&>(*inner_).save_words(w);
+          break;
+        case SimInner::kV:
+          static_cast<const AlgVState&>(*inner_).save_words(w);
+          break;
+      }
+    }
+    return true;
+  }
+
+  void load_words(WordReader& r) {
+    const std::uint64_t pass = r.get_u64();
+    advance_from_.reset();
+    if (r.get_bool()) advance_from_ = r.get_u64();
+    inner_.reset();
+    task_.reset();
+    if (r.get_bool()) {
+      const Slot start = static_cast<Slot>(r.get_u64());
+      build(pass, start);
+      switch (outer_.inner()) {
+        case SimInner::kCombinedVX:
+          static_cast<CombinedState&>(*inner_).load_words(r);
+          break;
+        case SimInner::kX:
+          static_cast<AlgXState&>(*inner_).load_words(r);
+          break;
+        case SimInner::kV:
+          static_cast<AlgVState&>(*inner_).load_words(r);
+          break;
+      }
+    }
+    pass_ = pass;  // build() set it when an inner exists; cover the gap
+  }
+
  private:
   void build(std::uint64_t pass, Slot start) {
     const SimLayout& layout = outer_.layout();
@@ -356,11 +408,13 @@ class SimProcState final : public ProcessorState {
         break;
     }
     pass_ = pass;
+    inner_start_ = start;
   }
 
   const SimulationProgram& outer_;
   Pid pid_;
   std::uint64_t pass_ = ~std::uint64_t{0};
+  Slot inner_start_ = 0;  // build()'s start slot, for checkpointing
   std::optional<std::uint64_t> advance_from_;
   std::unique_ptr<TaskSpec> task_;
   WriteAllConfig config_;  // referent of inner_'s config reference
@@ -369,6 +423,16 @@ class SimProcState final : public ProcessorState {
 
 std::unique_ptr<ProcessorState> SimulationProgram::boot(Pid pid) const {
   return std::make_unique<SimProcState>(*this, pid);
+}
+
+std::unique_ptr<ProcessorState> SimulationProgram::load_state(
+    Pid pid, std::span<const Word> data) const {
+  auto state = std::make_unique<SimProcState>(*this, pid);
+  WordReader r(data);
+  state->load_words(r);
+  RFSP_CHECK_MSG(r.exhausted(),
+                 "trailing words in a simulation checkpoint state");
+  return state;
 }
 
 }  // namespace
@@ -397,7 +461,11 @@ SimResult simulate(const SimProgram& program, Adversary& adversary,
     eopt.model = CrcwModel::kArbitrary;
   }
 
+  eopt.checkpoint_every = options.checkpoint_every;
+  eopt.on_checkpoint = options.on_checkpoint;
+
   Engine engine(outer, eopt);
+  if (options.resume != nullptr) engine.restore(*options.resume, &adversary);
   RunResult run = engine.run(adversary);
 
   SimResult result;

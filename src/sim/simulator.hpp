@@ -49,6 +49,14 @@ struct SimOptions {
   // (passes advance dynamically), so no kPhase events are produced.
   TraceSink* sink = nullptr;
   MetricsRegistry* metrics = nullptr;
+
+  // Checkpoint passthrough (src/replay, docs/resilience.md): capture an
+  // EngineCheckpoint every `checkpoint_every` slots into `on_checkpoint`
+  // (0 = off), and/or resume a run from a previously captured checkpoint
+  // (`resume` must outlive the simulate() call).
+  Slot checkpoint_every = 0;
+  std::function<void(const EngineCheckpoint&)> on_checkpoint;
+  const EngineCheckpoint* resume = nullptr;
 };
 
 struct SimResult {

@@ -17,10 +17,34 @@
 // violations in calling code, never data-dependent runtime conditions.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace rfsp {
+
+// Structured context attached at engine throw sites: which slot, which
+// processor, and which adversary move (or engine phase) was at fault. The
+// shrinker and CI logs consume these fields directly; the what() string
+// carries the same information for humans. Sentinels: -1 = not applicable.
+struct ViolationContext {
+  std::int64_t slot = -1;
+  std::int64_t pid = -1;
+  std::string move;  // "fail_mid_cycle", "restart", "torn", "commit", ...
+
+  std::string suffix() const {
+    if (slot < 0 && pid < 0 && move.empty()) return "";
+    std::string s = " [";
+    bool sep = false;
+    if (slot >= 0) { s += "slot " + std::to_string(slot); sep = true; }
+    if (pid >= 0) {
+      s += (sep ? ", " : "") + ("pid " + std::to_string(pid));
+      sep = true;
+    }
+    if (!move.empty()) s += (sep ? ", " : "") + ("move " + move);
+    return s + "]";
+  }
+};
 
 class ConfigError : public std::logic_error {
  public:
@@ -30,12 +54,20 @@ class ConfigError : public std::logic_error {
 class ModelViolation : public std::logic_error {
  public:
   explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+  ModelViolation(const std::string& what, ViolationContext ctx)
+      : std::logic_error(what + ctx.suffix()), context(std::move(ctx)) {}
+
+  ViolationContext context;
 };
 
 class AdversaryViolation : public std::logic_error {
  public:
   explicit AdversaryViolation(const std::string& what)
       : std::logic_error(what) {}
+  AdversaryViolation(const std::string& what, ViolationContext ctx)
+      : std::logic_error(what + ctx.suffix()), context(std::move(ctx)) {}
+
+  ViolationContext context;
 };
 
 namespace detail {

@@ -7,6 +7,7 @@
 // still have (PID and the synchronous clock), which `mix64` supports.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace rfsp {
@@ -33,6 +34,16 @@ class Rng {
 
   // Bernoulli(p).
   bool chance(double p);
+
+  // Checkpoint hooks (src/replay): the full 256-bit generator state. A
+  // generator restored via set_state produces exactly the stream the saved
+  // one would have, so a resumed run replays stochastic adversaries and
+  // randomized algorithms bit-identically.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0]; s_[1] = s[1]; s_[2] = s[2]; s_[3] = s[3];
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
 
  private:
   std::uint64_t s_[4];

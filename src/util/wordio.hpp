@@ -1,0 +1,77 @@
+// Word-stream serialization helpers for the checkpoint layer (src/replay,
+// docs/resilience.md).
+//
+// Private processor states and adversary states serialize into flat Word /
+// uint64 vectors via ProcessorState::save_state and Adversary::save_state.
+// These two cursors keep every implementation to straight-line push/pop
+// code with uniform truncation checking: a malformed or truncated stream
+// surfaces as ConfigError, never as silent garbage in a restored run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rfsp {
+
+template <typename W>
+class BasicWordWriter {
+ public:
+  explicit BasicWordWriter(std::vector<W>& out) : out_(out) {}
+
+  void put(W v) { out_.push_back(v); }
+  void put_u64(std::uint64_t v) { out_.push_back(static_cast<W>(v)); }
+  void put_bool(bool v) { out_.push_back(static_cast<W>(v ? 1 : 0)); }
+
+  template <typename T>
+  void put_span(std::span<const T> vs) {
+    put_u64(vs.size());
+    for (const T& v : vs) out_.push_back(static_cast<W>(v));
+  }
+
+ private:
+  std::vector<W>& out_;
+};
+
+template <typename W>
+class BasicWordReader {
+ public:
+  explicit BasicWordReader(std::span<const W> in) : in_(in) {}
+
+  W get() {
+    if (pos_ >= in_.size()) {
+      throw ConfigError("truncated checkpoint state stream");
+    }
+    return in_[pos_++];
+  }
+  std::uint64_t get_u64() { return static_cast<std::uint64_t>(get()); }
+  bool get_bool() { return get() != 0; }
+
+  template <typename T>
+  void get_vec(std::vector<T>& out) {
+    const std::uint64_t size = get_u64();
+    if (size > in_.size() - pos_) {
+      throw ConfigError("truncated checkpoint state stream");
+    }
+    out.resize(static_cast<std::size_t>(size));
+    for (auto& v : out) v = static_cast<T>(get());
+  }
+
+  // Words consumed so far — composed states (e.g. the combined V+X state)
+  // hand the unconsumed suffix to their second member.
+  std::size_t consumed() const { return pos_; }
+  bool exhausted() const { return pos_ == in_.size(); }
+
+ private:
+  std::span<const W> in_;
+  std::size_t pos_ = 0;
+};
+
+using WordWriter = BasicWordWriter<std::int64_t>;
+using WordReader = BasicWordReader<std::int64_t>;
+using U64Writer = BasicWordWriter<std::uint64_t>;
+using U64Reader = BasicWordReader<std::uint64_t>;
+
+}  // namespace rfsp

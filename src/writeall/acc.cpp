@@ -11,6 +11,16 @@ std::unique_ptr<ProcessorState> AccWriteAll::boot(Pid pid) const {
                                      AlgXState::Descent::kCoupon);
 }
 
+std::unique_ptr<ProcessorState> AccWriteAll::load_state(
+    Pid pid, std::span<const Word> data) const {
+  auto state = std::make_unique<AlgXState>(config_, layout_, pid, std::nullopt,
+                                           AlgXState::Descent::kCoupon);
+  WordReader r(data);
+  state->load_words(r);
+  RFSP_CHECK_MSG(r.exhausted(), "trailing words in an ACC checkpoint state");
+  return state;
+}
+
 bool AccWriteAll::goal(const SharedMemory& mem) const {
   return payload_of(mem.read(layout_.d(1)), config_.stamp) != 0;
 }

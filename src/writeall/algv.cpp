@@ -49,6 +49,38 @@ AlgVState::AlgVState(const WriteAllConfig& config, const VLayout& layout,
   }
 }
 
+bool AlgVState::save_state(std::vector<Word>& out) const {
+  WordWriter w(out);
+  save_words(w);
+  return true;
+}
+
+void AlgVState::save_words(WordWriter& w) const {
+  // start_slot_/stride_ are constructor parameters, but a loader may have
+  // built this state with defaults (e.g. CombinedState reloading a state
+  // whose interleave began mid-run) — carrying them makes the stream
+  // self-contained.
+  w.put_u64(start_slot_);
+  w.put_u64(stride_);
+  w.put_bool(waiting_);
+  w.put_u64(node_);
+  w.put_u64(lo_);
+  w.put_u64(hi_);
+  w.put_u64(leaf_);
+  w.put_span(std::span<const Word>(scratch_));
+}
+
+void AlgVState::load_words(WordReader& r) {
+  start_slot_ = static_cast<Slot>(r.get_u64());
+  stride_ = static_cast<Slot>(r.get_u64());
+  waiting_ = r.get_bool();
+  node_ = static_cast<Addr>(r.get_u64());
+  lo_ = static_cast<Pid>(r.get_u64());
+  hi_ = static_cast<Pid>(r.get_u64());
+  leaf_ = static_cast<Addr>(r.get_u64());
+  r.get_vec(scratch_);
+}
+
 bool AlgVState::cycle(CycleContext& ctx) {
   RFSP_CHECK_MSG(ctx.slot() >= start_slot_,
                  "V state used before its start slot");
@@ -195,6 +227,15 @@ AlgV::AlgV(WriteAllConfig config)
 
 std::unique_ptr<ProcessorState> AlgV::boot(Pid pid) const {
   return std::make_unique<AlgVState>(config_, layout_, pid);
+}
+
+std::unique_ptr<ProcessorState> AlgV::load_state(
+    Pid pid, std::span<const Word> data) const {
+  auto state = std::make_unique<AlgVState>(config_, layout_, pid);
+  WordReader r(data);
+  state->load_words(r);
+  RFSP_CHECK_MSG(r.exhausted(), "trailing words in a V checkpoint state");
+  return state;
 }
 
 bool AlgV::goal(const SharedMemory& mem) const {

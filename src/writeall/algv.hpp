@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "util/bits.hpp"
+#include "util/wordio.hpp"
 #include "writeall/layout.hpp"
 
 namespace rfsp {
@@ -78,6 +79,13 @@ class AlgVState final : public ProcessorState {
 
   bool cycle(CycleContext& ctx) override;
 
+  // Checkpoint support (docs/resilience.md): flat word-stream round-trip.
+  // The composable pair (save_words/load_words) lets CombinedState and the
+  // simulator embed V's words inside their own streams.
+  bool save_state(std::vector<Word>& out) const override;
+  void save_words(WordWriter& w) const;
+  void load_words(WordReader& r);
+
  private:
   bool alloc_cycle(CycleContext& ctx, Slot k);
   void work_cycle(CycleContext& ctx, Slot j);
@@ -109,6 +117,8 @@ class AlgV final : public WriteAllProgram {
   std::string_view name() const override { return "V"; }
   Addr memory_size() const override { return layout_.aux_end(); }
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.x_base; }
 

@@ -27,6 +27,32 @@ AlgWState::AlgWState(const WriteAllConfig& config, const WLayout& layout,
                      Pid pid)
     : config_(config), layout_(layout), pid_(pid) {}
 
+bool AlgWState::save_state(std::vector<Word>& out) const {
+  WordWriter w(out);
+  save_words(w);
+  return true;
+}
+
+void AlgWState::save_words(WordWriter& w) const {
+  w.put_bool(waiting_);
+  w.put_u64(rank_);
+  w.put_u64(live_);
+  w.put_u64(node_);
+  w.put_u64(lo_);
+  w.put_u64(hi_);
+  w.put_u64(leaf_);
+}
+
+void AlgWState::load_words(WordReader& r) {
+  waiting_ = r.get_bool();
+  rank_ = static_cast<Pid>(r.get_u64());
+  live_ = static_cast<Pid>(r.get_u64());
+  node_ = static_cast<Addr>(r.get_u64());
+  lo_ = static_cast<Pid>(r.get_u64());
+  hi_ = static_cast<Pid>(r.get_u64());
+  leaf_ = static_cast<Addr>(r.get_u64());
+}
+
 bool AlgWState::cycle(CycleContext& ctx) {
   const VLayout& pr = layout_.progress;
   const Slot phi = ctx.slot() % layout_.iteration;
@@ -167,6 +193,15 @@ AlgW::AlgW(WriteAllConfig config)
 
 std::unique_ptr<ProcessorState> AlgW::boot(Pid pid) const {
   return std::make_unique<AlgWState>(config_, layout_, pid);
+}
+
+std::unique_ptr<ProcessorState> AlgW::load_state(
+    Pid pid, std::span<const Word> data) const {
+  auto state = std::make_unique<AlgWState>(config_, layout_, pid);
+  WordReader r(data);
+  state->load_words(r);
+  RFSP_CHECK_MSG(r.exhausted(), "trailing words in a W checkpoint state");
+  return state;
 }
 
 bool AlgW::goal(const SharedMemory& mem) const {

@@ -30,6 +30,7 @@
 // (config.stamp must be 0).
 #pragma once
 
+#include "util/wordio.hpp"
 #include "writeall/algv.hpp"
 #include "writeall/layout.hpp"
 
@@ -57,6 +58,11 @@ class AlgWState final : public ProcessorState {
 
   bool cycle(CycleContext& ctx) override;
 
+  // Checkpoint support (docs/resilience.md): flat word-stream round-trip.
+  bool save_state(std::vector<Word>& out) const override;
+  void save_words(WordWriter& w) const;
+  void load_words(WordReader& r);
+
  private:
   bool count_cycle(CycleContext& ctx, Slot j, Word iter);
   bool alloc_cycle(CycleContext& ctx, Slot k);
@@ -83,6 +89,8 @@ class AlgW final : public WriteAllProgram {
   std::string_view name() const override { return "W"; }
   Addr memory_size() const override { return layout_.aux_end(); }
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.progress.x_base; }
 

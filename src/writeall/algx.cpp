@@ -37,6 +37,42 @@ AlgXState::AlgXState(const WriteAllConfig& config, const XLayout& layout,
   }
 }
 
+bool AlgXState::save_state(std::vector<Word>& out) const {
+  WordWriter w(out);
+  save_words(w);
+  return true;
+}
+
+void AlgXState::save_words(WordWriter& w) const {
+  w.put_u64(static_cast<std::uint64_t>(mode_));
+  w.put_u64(task_leaf_);
+  w.put_u64(task_k_);
+  w.put_span(std::span<const Word>(scratch_));
+  w.put_bool(rng_.has_value());
+  if (rng_) {
+    for (std::uint64_t word : rng_->state()) w.put_u64(word);
+  }
+}
+
+void AlgXState::load_words(WordReader& r) {
+  const std::uint64_t mode = r.get_u64();
+  if (mode > static_cast<std::uint64_t>(Mode::kTaskDoneMark)) {
+    throw ConfigError("invalid X-state mode in a checkpoint stream");
+  }
+  mode_ = static_cast<Mode>(mode);
+  task_leaf_ = static_cast<Addr>(r.get_u64());
+  task_k_ = static_cast<unsigned>(r.get_u64());
+  r.get_vec(scratch_);
+  if (r.get_bool()) {
+    std::array<std::uint64_t, 4> s;
+    for (std::uint64_t& word : s) word = r.get_u64();
+    rng_.emplace(std::uint64_t{0});
+    rng_->set_state(s);
+  } else {
+    rng_.reset();
+  }
+}
+
 Word AlgXState::initial_position(Slot slot) const {
   // Prose of §4.2: processors start on the first P leaves; Remark 5(i)
   // optionally spaces them n_pad/P apart. The ACC stand-in instead draws a
@@ -201,6 +237,15 @@ AlgX::AlgX(WriteAllConfig config)
 
 std::unique_ptr<ProcessorState> AlgX::boot(Pid pid) const {
   return std::make_unique<AlgXState>(config_, layout_, pid);
+}
+
+std::unique_ptr<ProcessorState> AlgX::load_state(
+    Pid pid, std::span<const Word> data) const {
+  auto state = std::make_unique<AlgXState>(config_, layout_, pid);
+  WordReader r(data);
+  state->load_words(r);
+  RFSP_CHECK_MSG(r.exhausted(), "trailing words in an X checkpoint state");
+  return state;
 }
 
 bool AlgX::goal(const SharedMemory& mem) const {

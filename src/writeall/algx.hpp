@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/wordio.hpp"
 #include "writeall/layout.hpp"
 
 namespace rfsp {
@@ -95,6 +96,12 @@ class AlgXState final : public ProcessorState {
 
   bool cycle(CycleContext& ctx) override;
 
+  // Checkpoint support (docs/resilience.md): flat word-stream round-trip,
+  // including the private RNG of the randomized descents.
+  bool save_state(std::vector<Word>& out) const override;
+  void save_words(WordWriter& w) const;
+  void load_words(WordReader& r);
+
  private:
   enum class Mode { kNavigate, kTask, kTaskDoneMark };
 
@@ -126,6 +133,8 @@ class AlgX final : public WriteAllProgram {
   std::string_view name() const override { return "X"; }
   Addr memory_size() const override { return layout_.aux_end(); }
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.x_base; }
 

@@ -22,6 +22,24 @@ bool CombinedState::cycle(CycleContext& ctx) {
   return (rel % 2 == 0) ? v_.cycle(ctx) : x_.cycle(ctx);
 }
 
+bool CombinedState::save_state(std::vector<Word>& out) const {
+  WordWriter w(out);
+  save_words(w);
+  return true;
+}
+
+void CombinedState::save_words(WordWriter& w) const {
+  w.put_u64(start_slot_);
+  v_.save_words(w);
+  x_.save_words(w);
+}
+
+void CombinedState::load_words(WordReader& r) {
+  start_slot_ = static_cast<Slot>(r.get_u64());
+  v_.load_words(r);
+  x_.load_words(r);
+}
+
 CombinedVX::CombinedVX(WriteAllConfig config)
     : WriteAllProgram(config),
       layout_(config_.base, config_.base + config_.n, config_.n, config_.p,
@@ -29,6 +47,15 @@ CombinedVX::CombinedVX(WriteAllConfig config)
 
 std::unique_ptr<ProcessorState> CombinedVX::boot(Pid pid) const {
   return std::make_unique<CombinedState>(config_, layout_, pid);
+}
+
+std::unique_ptr<ProcessorState> CombinedVX::load_state(
+    Pid pid, std::span<const Word> data) const {
+  auto state = std::make_unique<CombinedState>(config_, layout_, pid);
+  WordReader r(data);
+  state->load_words(r);
+  RFSP_CHECK_MSG(r.exhausted(), "trailing words in a VX checkpoint state");
+  return state;
 }
 
 bool CombinedVX::goal(const SharedMemory& mem) const {

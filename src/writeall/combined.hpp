@@ -42,6 +42,11 @@ class CombinedState final : public ProcessorState {
 
   bool cycle(CycleContext& ctx) override;
 
+  // Checkpoint support (docs/resilience.md): start slot + V words + X words.
+  bool save_state(std::vector<Word>& out) const override;
+  void save_words(WordWriter& w) const;
+  void load_words(WordReader& r);
+
  private:
   Slot start_slot_;
   AlgVState v_;
@@ -55,6 +60,8 @@ class CombinedVX final : public WriteAllProgram {
   std::string_view name() const override { return "VX"; }
   Addr memory_size() const override { return layout_.aux_end(); }
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return layout_.v.x_base; }
 

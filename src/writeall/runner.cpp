@@ -69,11 +69,13 @@ std::unique_ptr<WriteAllProgram> make_writeall(WriteAllAlgo algo,
 }
 
 WriteAllOutcome run_writeall(WriteAllAlgo algo, const WriteAllConfig& config,
-                             Adversary& adversary, EngineOptions options) {
+                             Adversary& adversary, EngineOptions options,
+                             const EngineCheckpoint* resume) {
   if (algo == WriteAllAlgo::kSnapshot) options.unit_cost_snapshot = true;
   const std::unique_ptr<WriteAllProgram> program =
       make_writeall(algo, config);
   Engine engine(*program, options);
+  if (resume != nullptr) engine.restore(*resume, &adversary);
   WriteAllOutcome outcome;
   outcome.run = engine.run(adversary);
   outcome.solved = program->solved(engine.memory());

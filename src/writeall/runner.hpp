@@ -39,8 +39,11 @@ struct WriteAllOutcome {
 };
 
 // Build, run, verify. Sets EngineOptions::unit_cost_snapshot automatically
-// for the snapshot algorithm.
+// for the snapshot algorithm. When `resume` is non-null the engine is
+// restored from that checkpoint (including the adversary's state) before
+// running — the continuation is bit-identical to the uninterrupted run.
 WriteAllOutcome run_writeall(WriteAllAlgo algo, const WriteAllConfig& config,
-                             Adversary& adversary, EngineOptions options = {});
+                             Adversary& adversary, EngineOptions options = {},
+                             const EngineCheckpoint* resume = nullptr);
 
 }  // namespace rfsp

@@ -38,6 +38,13 @@ class SnapshotState final : public ProcessorState {
     return false;
   }
 
+  // Stateless between cycles (everything is recomputed from the snapshot),
+  // so the checkpoint stream is empty and load_state is a fresh boot.
+  bool save_state(std::vector<Word>& out) const override {
+    (void)out;
+    return true;
+  }
+
  private:
   const WriteAllConfig& config_;
   Pid pid_;
@@ -54,6 +61,12 @@ SnapshotWriteAll::SnapshotWriteAll(WriteAllConfig config)
 
 std::unique_ptr<ProcessorState> SnapshotWriteAll::boot(Pid pid) const {
   return std::make_unique<SnapshotState>(config_, pid);
+}
+
+std::unique_ptr<ProcessorState> SnapshotWriteAll::load_state(
+    Pid pid, std::span<const Word> data) const {
+  RFSP_CHECK_MSG(data.empty(), "snapshot state stream must be empty");
+  return boot(pid);
 }
 
 bool SnapshotWriteAll::goal(const SharedMemory& mem) const {

@@ -1,6 +1,7 @@
 #include "writeall/trivial.hpp"
 
 #include "util/error.hpp"
+#include "util/wordio.hpp"
 
 namespace rfsp {
 
@@ -32,6 +33,13 @@ class TrivialState final : public ProcessorState {
     return next_ < config_.n;
   }
 
+  bool save_state(std::vector<Word>& out) const override {
+    WordWriter w(out);
+    w.put_u64(next_);
+    return true;
+  }
+  void set_next(Addr next) { next_ = next; }
+
  private:
   const WriteAllConfig& config_;  // owned by the booting program
   Addr next_;
@@ -46,6 +54,13 @@ class SequentialState final : public ProcessorState {
     ++next_;
     return next_ < config_.n;
   }
+
+  bool save_state(std::vector<Word>& out) const override {
+    WordWriter w(out);
+    w.put_u64(next_);
+    return true;
+  }
+  void set_next(Addr next) { next_ = next; }
 
  private:
   const WriteAllConfig& config_;  // owned by the booting program
@@ -70,6 +85,16 @@ std::unique_ptr<ProcessorState> TrivialWriteAll::boot(Pid pid) const {
   return std::make_unique<TrivialState>(config_, pid);
 }
 
+std::unique_ptr<ProcessorState> TrivialWriteAll::load_state(
+    Pid pid, std::span<const Word> data) const {
+  auto state = std::make_unique<TrivialState>(config_, pid);
+  WordReader r(data);
+  state->set_next(static_cast<Addr>(r.get_u64()));
+  RFSP_CHECK_MSG(r.exhausted(),
+                 "trailing words in a trivial checkpoint state");
+  return state;
+}
+
 bool TrivialWriteAll::goal(const SharedMemory& mem) const {
   return all_visited(mem, config_, x_base());
 }
@@ -84,6 +109,16 @@ SequentialWriteAll::SequentialWriteAll(WriteAllConfig config)
 
 std::unique_ptr<ProcessorState> SequentialWriteAll::boot(Pid) const {
   return std::make_unique<SequentialState>(config_);
+}
+
+std::unique_ptr<ProcessorState> SequentialWriteAll::load_state(
+    Pid, std::span<const Word> data) const {
+  auto state = std::make_unique<SequentialState>(config_);
+  WordReader r(data);
+  state->set_next(static_cast<Addr>(r.get_u64()));
+  RFSP_CHECK_MSG(r.exhausted(),
+                 "trailing words in a sequential checkpoint state");
+  return state;
 }
 
 bool SequentialWriteAll::goal(const SharedMemory& mem) const {

@@ -25,6 +25,8 @@ class TrivialWriteAll final : public WriteAllProgram {
   std::string_view name() const override { return "trivial"; }
   Addr memory_size() const override { return config_.base + config_.n; }
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return config_.base; }
 };
@@ -36,6 +38,8 @@ class SequentialWriteAll final : public WriteAllProgram {
   std::string_view name() const override { return "sequential"; }
   Addr memory_size() const override { return config_.base + config_.n; }
   std::unique_ptr<ProcessorState> boot(Pid pid) const override;
+  std::unique_ptr<ProcessorState> load_state(
+      Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
   Addr x_base() const override { return config_.base; }
 };

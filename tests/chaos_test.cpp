@@ -5,65 +5,52 @@
 // engine's validation provides the legality oracle (any AdversaryViolation
 // here is a bug in the fuzzer's clamping, any ModelViolation a bug in an
 // algorithm), and the postcondition provides correctness.
+//
+// Sweep width: seeds 1..RFSP_CHAOS_SEEDS (default 25; the nightly CI job
+// raises it). A failing seed auto-records its fault schedule as a
+// self-describing JSONL reproducer under $RFSP_CHAOS_RECORD_DIR (default
+// ".") — replay it with `writeall_cli --replay FILE` and, once vetted, file
+// the shrunk version under tests/corpus/ for the regression suite.
 #include <gtest/gtest.h>
 
-#include "fault/adversary.hpp"
+#include <cstdlib>
+
 #include "programs/programs.hpp"
+#include "replay/repro.hpp"
+#include "replay/schedule.hpp"
 #include "sim/simulator.hpp"
-#include "util/rng.hpp"
+#include "test_util.hpp"
 #include "writeall/runner.hpp"
 
 namespace rfsp {
 namespace {
 
-class ChaosAdversary final : public Adversary {
- public:
-  ChaosAdversary(std::uint64_t seed, bool allow_torn)
-      : rng_(seed), allow_torn_(allow_torn) {}
+using ::rfsp::testing::ChaosAdversary;
 
-  std::string_view name() const override { return "chaos"; }
-
-  FaultDecision decide(const MachineView& view) override {
-    FaultDecision d;
-    std::vector<Pid> started;
-    for (Pid pid = 0; pid < view.processors(); ++pid) {
-      if (view.trace(pid).started) started.push_back(pid);
-    }
-
-    // Keep at least one mid-cycle survivor (constraint 2(i)).
-    std::size_t abortable = started.empty() ? 0 : started.size() - 1;
-    for (const Pid pid : started) {
-      if (!rng_.chance(0.25)) continue;
-      const double move = rng_.uniform();
-      if (move < 0.4 && abortable > 0) {
-        d.fail_mid_cycle.push_back(pid);
-        --abortable;
-        if (rng_.chance(0.7)) d.restart.push_back(pid);  // same-slot revive
-      } else if (move < 0.6) {
-        d.fail_after_cycle.push_back(pid);
-        if (rng_.chance(0.5)) d.restart.push_back(pid);
-      } else if (allow_torn_ && abortable > 0 &&
-                 !view.trace(pid).writes.empty()) {
-        const std::size_t idx =
-            rng_.below(view.trace(pid).writes.size());
-        d.torn.push_back({pid, idx, static_cast<unsigned>(rng_.below(33))});
-        --abortable;
-        if (rng_.chance(0.7)) d.restart.push_back(pid);
-      }
-    }
-    // Revive older casualties sluggishly.
-    for (Pid pid = 0; pid < view.processors(); ++pid) {
-      if (view.status(pid) == ProcStatus::kFailed && rng_.chance(0.4)) {
-        d.restart.push_back(pid);
-      }
-    }
-    return d;
+std::uint64_t chaos_seed_limit() {
+  if (const char* env = std::getenv("RFSP_CHAOS_SEEDS")) {
+    const std::uint64_t n = std::strtoull(env, nullptr, 10);
+    if (n > 0) return n;
   }
+  return 25;
+}
 
- private:
-  Rng rng_;
-  bool allow_torn_;
-};
+// Archive a failing run's schedule so the seed is reproducible without the
+// fuzzer: $RFSP_CHAOS_RECORD_DIR/<name>.jsonl (best-effort — recording
+// failures must not mask the original test failure).
+void record_failure(const ReproSpec& spec, FaultSchedule schedule,
+                    ProbeStatus status, const std::string& name) {
+  const char* dir = std::getenv("RFSP_CHAOS_RECORD_DIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/" + name + ".jsonl";
+  try {
+    write_meta(spec, schedule, status, "auto-recorded by chaos_test");
+    save_schedule(schedule, path);
+    std::cerr << "chaos failure schedule recorded to " << path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "could not record chaos schedule: " << e.what() << "\n";
+  }
+}
 
 class ChaosSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -71,10 +58,27 @@ TEST_P(ChaosSeeds, WriteAllSurvives) {
   const std::uint64_t seed = GetParam();
   for (WriteAllAlgo algo : {WriteAllAlgo::kX, WriteAllAlgo::kCombinedVX,
                             WriteAllAlgo::kAcc}) {
-    ChaosAdversary adversary(seed * 101 + 7, /*allow_torn=*/false);
-    const auto out =
-        run_writeall(algo, {.n = 100, .p = 25, .seed = seed}, adversary);
-    ASSERT_TRUE(out.solved) << to_string(algo) << " seed=" << seed;
+    ChaosAdversary inner(seed * 101 + 7, /*allow_torn=*/false);
+    FaultSchedule schedule;
+    RecordingAdversary adversary(inner, schedule);
+    const WriteAllConfig config{.n = 100, .p = 25, .seed = seed};
+    const ReproSpec spec{.algo = algo, .n = config.n, .p = config.p,
+                         .seed = seed};
+    const std::string tag = std::string("chaos_") + std::string(to_string(algo)) +
+                            "_s" + std::to_string(seed);
+    try {
+      const auto out = run_writeall(algo, config, adversary);
+      if (!out.solved) {
+        record_failure(spec, schedule, ProbeStatus::kUnsolved, tag);
+      }
+      ASSERT_TRUE(out.solved) << to_string(algo) << " seed=" << seed;
+    } catch (const ModelViolation& mv) {
+      record_failure(spec, schedule, ProbeStatus::kModelViolation, tag);
+      FAIL() << to_string(algo) << " seed=" << seed << ": " << mv.what();
+    } catch (const AdversaryViolation& av) {
+      record_failure(spec, schedule, ProbeStatus::kAdversaryViolation, tag);
+      FAIL() << to_string(algo) << " seed=" << seed << ": " << av.what();
+    }
   }
 }
 
@@ -89,7 +93,8 @@ TEST_P(ChaosSeeds, SimulatorSurvives) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeeds,
-                         ::testing::Range<std::uint64_t>(1, 13),
+                         ::testing::Range<std::uint64_t>(
+                             1, chaos_seed_limit() + 1),
                          [](const ::testing::TestParamInfo<std::uint64_t>& i) {
                            return "s" + std::to_string(i.param);
                          });

@@ -2,14 +2,102 @@
 // adversaries for exercising engine semantics in isolation.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 
 #include "fault/adversary.hpp"
 #include "pram/engine.hpp"
 #include "pram/program.hpp"
+#include "util/rng.hpp"
 
 namespace rfsp::testing {
+
+// A decision fuzzer mixing every legal adversary move: mid-cycle failures,
+// post-write failures, fail-then-restart in one slot, delayed restarts, and
+// (when allowed) torn writes — self-clamped to constraint 2(i). Shared by
+// the chaos sweep (chaos_test) and the record/replay determinism matrix
+// (replay_test); checkpoint-safe via the RNG state hooks.
+class ChaosAdversary final : public Adversary {
+ public:
+  ChaosAdversary(std::uint64_t seed, bool allow_torn)
+      : rng_(seed), allow_torn_(allow_torn) {}
+
+  std::string_view name() const override { return "chaos"; }
+
+  FaultDecision decide(const MachineView& view) override {
+    FaultDecision d;
+    std::vector<Pid> started;
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (view.trace(pid).started) started.push_back(pid);
+    }
+
+    // Keep at least one mid-cycle survivor (constraint 2(i)).
+    std::size_t abortable = started.empty() ? 0 : started.size() - 1;
+    for (const Pid pid : started) {
+      if (!rng_.chance(0.25)) continue;
+      const double move = rng_.uniform();
+      if (move < 0.4 && abortable > 0) {
+        d.fail_mid_cycle.push_back(pid);
+        --abortable;
+        if (rng_.chance(0.7)) d.restart.push_back(pid);  // same-slot revive
+      } else if (move < 0.6) {
+        d.fail_after_cycle.push_back(pid);
+        if (rng_.chance(0.5)) d.restart.push_back(pid);
+      } else if (allow_torn_ && abortable > 0 &&
+                 !view.trace(pid).writes.empty()) {
+        const std::size_t idx = rng_.below(view.trace(pid).writes.size());
+        d.torn.push_back({pid, idx, static_cast<unsigned>(rng_.below(33))});
+        --abortable;
+        if (rng_.chance(0.7)) d.restart.push_back(pid);
+      }
+    }
+    // Revive older casualties sluggishly.
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (view.status(pid) == ProcStatus::kFailed && rng_.chance(0.4)) {
+        d.restart.push_back(pid);
+      }
+    }
+    // Never strand the machine (constraint 2(i)): fail_after_cycle carries
+    // no mid-cycle clamp, so the decision can leave zero live processors —
+    // certain with p = 1. Revive one casualty if so.
+    const auto in = [](const std::vector<Pid>& v, Pid pid) {
+      return std::find(v.begin(), v.end(), pid) != v.end();
+    };
+    bool any_live = false;
+    for (Pid pid = 0; pid < view.processors(); ++pid) {
+      if (view.status(pid) == ProcStatus::kHalted) continue;
+      const bool downed = view.status(pid) == ProcStatus::kFailed ||
+                          in(d.fail_mid_cycle, pid) ||
+                          in(d.fail_after_cycle, pid);
+      if (!downed || in(d.restart, pid)) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) {
+      for (Pid pid = 0; pid < view.processors(); ++pid) {
+        if (view.status(pid) == ProcStatus::kHalted) continue;
+        if (!in(d.restart, pid)) {
+          d.restart.push_back(pid);
+          break;
+        }
+      }
+    }
+    return d;
+  }
+
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    for (const std::uint64_t w : rng_.state()) out.push_back(w);
+  }
+  void load_state(std::span<const std::uint64_t> data) override {
+    if (data.size() >= 4) rng_.set_state({data[0], data[1], data[2], data[3]});
+  }
+
+ private:
+  Rng rng_;
+  bool allow_torn_;
+};
 
 // A program whose per-processor behaviour is a lambda (pid, cycle#, ctx) ->
 // keep_running. Cycle numbers restart from 0 after a failure (boot builds a
