@@ -2,7 +2,9 @@
 // from the command line (the Theorem 4.1 executor), with a choice of
 // workload, size, physical processors, embedded Write-All algorithm, and
 // failure intensity. Results are verified against the fault-free reference
-// execution before reporting.
+// execution before reporting. --audit 1 additionally runs the model-
+// conformance auditor over the physical machine (docs/analysis.md),
+// including the record/replay obliviousness probe, and exits 6 on findings.
 //
 // Examples:
 //   sim_cli --program prefix-sum --n 1024 --p 64 --fail 0.1
@@ -16,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/oblivious.hpp"
 #include "fault/adversaries.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -53,7 +56,10 @@ using namespace rfsp;
                "  --resume F      restore a checkpoint and continue\n"
                "  --trace-out F   stream engine events to F (JSONL, or CSV\n"
                "                  when F ends in .csv)\n"
-               "  --metrics-out F save the run's metrics registry as JSON\n";
+               "  --metrics-out F save the run's metrics registry as JSON\n"
+               "  --audit 1       run the model-conformance auditor on the\n"
+               "                  physical machine; exit 6 on findings\n"
+               "  --audit-out F   save the audit report as JSONL\n";
   std::exit(2);
 }
 
@@ -96,9 +102,16 @@ int main(int argc, char** argv) {
   const std::string resume_file = take("resume", "");
   const std::string trace_out = take("trace-out", "");
   const std::string metrics_out = take("metrics-out", "");
+  const bool audit_on = take("audit", "0") != "0";
+  const std::string audit_out = take("audit-out", "");
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
   if (checkpoint_every > 0 && checkpoint_file.empty()) {
     usage("--checkpoint-every needs --checkpoint FILE");
+  }
+  if (!audit_out.empty() && !audit_on) usage("--audit-out needs --audit 1");
+  if (audit_on && (!resume_file.empty() || !checkpoint_file.empty())) {
+    usage("--audit is incompatible with --resume/--checkpoint "
+          "(the audit replays the run from slot 0)");
   }
 
   SimInner inner = SimInner::kCombinedVX;
@@ -224,7 +237,16 @@ int main(int argc, char** argv) {
       resume_cp = load_checkpoint(resume_file);
       sim_options.resume = &resume_cp;
     }
-    const SimResult r = simulate(*program, *active, sim_options);
+    SimResult r;
+    AuditReport audit_report;
+    if (audit_on) {
+      AuditedSimRun audited =
+          audit_simulation(*program, *active, sim_options);
+      r = std::move(audited.result);
+      audit_report = std::move(audited.report);
+    } else {
+      r = simulate(*program, *active, sim_options);
+    }
     const bool correct =
         r.completed && (verifier ? verifier(r.memory)
                                  : r.memory == reference_run(*program));
@@ -259,6 +281,16 @@ int main(int argc, char** argv) {
       metrics.write_json(os);
       os << "\n";
       std::cout << "metrics saved to " << metrics_out << '\n';
+    }
+    if (audit_on) {
+      std::cout << '\n' << audit_report.to_text();
+      if (!audit_out.empty()) {
+        std::ofstream os(audit_out);
+        if (!os) usage("cannot write " + audit_out);
+        audit_report.write_jsonl(os);
+        std::cout << "audit report saved to " << audit_out << '\n';
+      }
+      if (!audit_report.ok()) return 6;
     }
     return correct ? 0 : 1;
   } catch (const ModelViolation& mv) {

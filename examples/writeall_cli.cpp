@@ -8,8 +8,13 @@
 // (with --crash-at-slot simulating a kill for scripts/kill_resume.sh),
 // and --shrink-out minimizes a recorded violation before archiving it.
 //
+// Conformance auditing (docs/analysis.md): --audit 1 runs the model-
+// conformance auditor over the run (budgets, phase order, write agreement,
+// amnesia twins) plus the record/replay obliviousness probe, prints the
+// report, and exits 6 on violations; --audit-out FILE saves it as JSONL.
+//
 // Exit codes: 0 solved, 1 unsolved, 2 usage, 3 model violation,
-// 4 adversary violation, 5 other error.
+// 4 adversary violation, 5 other error, 6 audit violations.
 //
 // Examples:
 //   writeall_cli --algo X --n 4096 --p 256 --adversary random --fail 0.1
@@ -30,6 +35,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/oblivious.hpp"
 #include "fault/adversaries.hpp"
 #include "fault/halving.hpp"
 #include "fault/iteration_killer.hpp"
@@ -83,7 +89,11 @@ using namespace rfsp;
       "  --trace-out FILE   stream engine events to FILE (JSONL, or CSV\n"
       "                     when FILE ends in .csv)\n"
       "  --metrics-out FILE save the run's metrics registry as JSON\n"
-      "  --phases 1         print the per-phase work breakdown\n";
+      "  --phases 1         print the per-phase work breakdown\n"
+      "  --audit 1          run the model-conformance auditor (budgets,\n"
+      "                     phase order, write agreement, amnesia twins,\n"
+      "                     record/replay obliviousness); exit 6 on findings\n"
+      "  --audit-out FILE   save the audit report as JSONL (with --audit)\n";
   std::exit(2);
 }
 
@@ -170,7 +180,15 @@ int main(int argc, char** argv) {
   const std::string trace_out = take("trace-out", "");
   const std::string metrics_out = take("metrics-out", "");
   const bool show_phases = take("phases", "0") != "0";
+  const bool audit_on = take("audit", "0") != "0";
+  const std::string audit_out = take("audit-out", "");
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
+  if (!audit_out.empty() && !audit_on) usage("--audit-out needs --audit 1");
+  if (audit_on && (!resume_file.empty() || !checkpoint_file.empty() ||
+                   crash_at > 0)) {
+    usage("--audit is incompatible with --resume/--checkpoint/--crash-at-slot "
+          "(the audit replays the run from slot 0)");
+  }
   if (checkpoint_every > 0 && checkpoint_file.empty()) {
     usage("--checkpoint-every needs --checkpoint FILE");
   }
@@ -342,8 +360,15 @@ int main(int argc, char** argv) {
     };
 
     WriteAllOutcome out;
+    AuditReport audit_report;
     try {
-      out = run_writeall(algo, config, *active, options, resume_ptr);
+      if (audit_on) {
+        AuditedRun audited = audit_writeall(algo, config, *active, options);
+        out = std::move(audited.outcome);
+        audit_report = std::move(audited.report);
+      } else {
+        out = run_writeall(algo, config, *active, options, resume_ptr);
+      }
     } catch (const ModelViolation& mv) {
       return handle_violation(3, "model violation", mv.what(), mv.context,
                               ProbeStatus::kModelViolation);
@@ -397,6 +422,16 @@ int main(int argc, char** argv) {
       }
       std::cout << "\nper-phase breakdown\n";
       table.print(std::cout);
+    }
+    if (audit_on) {
+      std::cout << '\n' << audit_report.to_text();
+      if (!audit_out.empty()) {
+        std::ofstream os(audit_out);
+        if (!os) usage("cannot write " + audit_out);
+        audit_report.write_jsonl(os);
+        std::cout << "audit report saved to " << audit_out << "\n";
+      }
+      if (!audit_report.ok()) return 6;
     }
     return out.solved ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Run every experiment bench (E1–E15) with --benchmark_format=json and
+# Run every experiment bench (E1–E16) with --benchmark_format=json and
 # aggregate the results into BENCH_<tag>.json, one point of the perf
 # trajectory the ROADMAP tracks PR over PR.
 #
@@ -7,7 +7,7 @@
 #   scripts/run_benches.sh [build-dir] [out-dir] [tag]
 #
 # Defaults: build-dir = build, out-dir = <build-dir>/bench-results,
-# tag = $RFSP_BENCH_TAG or PR4. The aggregate lands in
+# tag = $RFSP_BENCH_TAG or PR5. The aggregate lands in
 # <out-dir>/BENCH_<tag>.json.
 #
 # Environment:
@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 build_dir=${1:-build}
 out_dir=${2:-"$build_dir/bench-results"}
-tag=${3:-${RFSP_BENCH_TAG:-PR4}}
+tag=${3:-${RFSP_BENCH_TAG:-PR5}}
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found — build first:" >&2

@@ -1,0 +1,318 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace rfsp {
+
+namespace {
+
+// Order-sensitive accumulation (boost::hash_combine-style): the same
+// operations in a different order hash differently, which is exactly what
+// the obliviousness comparison needs.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+std::uint64_t fingerprint_trace(Slot slot, Pid pid, const CycleTrace& t) {
+  std::uint64_t h = mix(mix(0x243f6a8885a308d3ULL, slot), pid);
+  h = mix(h, t.reads.size());
+  for (const Addr a : t.reads) h = mix(h, a);
+  h = mix(h, t.writes.size());
+  for (const WriteOp& op : t.writes) {
+    h = mix(h, op.addr);
+    h = mix(h, static_cast<std::uint64_t>(op.value));
+  }
+  h = mix(h, (t.used_snapshot ? 2u : 0u) | (t.halting ? 1u : 0u));
+  return h;
+}
+
+// First behavioural difference between the real restarted processor's cycle
+// and its fresh-boot twin's, or "" when identical.
+std::string diff_cycles(const CycleTrace& real, const CycleTrace& twin) {
+  if (real.used_snapshot != twin.used_snapshot) {
+    return twin.used_snapshot ? "twin used the snapshot read, processor "
+                                "did not"
+                              : "processor used the snapshot read, twin did "
+                                "not";
+  }
+  const std::size_t reads = std::min(real.reads.size(), twin.reads.size());
+  for (std::size_t i = 0; i < reads; ++i) {
+    if (real.reads[i] != twin.reads[i]) {
+      return "read #" + std::to_string(i) + ": processor read cell " +
+             std::to_string(real.reads[i]) + ", twin read cell " +
+             std::to_string(twin.reads[i]);
+    }
+  }
+  if (real.reads.size() != twin.reads.size()) {
+    return "processor issued " + std::to_string(real.reads.size()) +
+           " reads, twin issued " + std::to_string(twin.reads.size());
+  }
+  const std::size_t writes = std::min(real.writes.size(), twin.writes.size());
+  for (std::size_t i = 0; i < writes; ++i) {
+    if (real.writes[i].addr != twin.writes[i].addr ||
+        real.writes[i].value != twin.writes[i].value) {
+      return "write #" + std::to_string(i) + ": processor wrote " +
+             std::to_string(real.writes[i].value) + " to cell " +
+             std::to_string(real.writes[i].addr) + ", twin wrote " +
+             std::to_string(twin.writes[i].value) + " to cell " +
+             std::to_string(twin.writes[i].addr);
+    }
+  }
+  if (real.writes.size() != twin.writes.size()) {
+    return "processor issued " + std::to_string(real.writes.size()) +
+           " writes, twin issued " + std::to_string(twin.writes.size());
+  }
+  if (real.halting != twin.halting) {
+    return real.halting ? "processor halted, twin did not"
+                        : "twin halted, processor did not";
+  }
+  return {};
+}
+
+}  // namespace
+
+Auditor::Auditor(AuditOptions options) : options_(options) {}
+
+void Auditor::add(AuditCheck check, std::string detail, AuditContext context) {
+  report_.add(check, std::move(detail), std::move(context),
+              options_.max_violations);
+}
+
+Auditor::PidCycle& Auditor::cycle_state(Pid pid) {
+  PidCycle& c = cycles_[pid];
+  if (c.stamp != slot_ + 1) {
+    c = PidCycle{};
+    c.stamp = slot_ + 1;
+  }
+  return c;
+}
+
+void Auditor::on_run_begin(const Program& program,
+                           const EngineOptions& options) {
+  program_ = &program;
+  model_ = options.model;
+  weak_value_ = options.weak_value;
+  snapshot_allowed_ = options.unit_cost_snapshot;
+  read_budget_ = options.read_budget;
+  write_budget_ = options.write_budget;
+  report_.read_budget = read_budget_;
+  report_.write_budget = write_budget_;
+  cycles_.assign(program.processors(), PidCycle{});
+}
+
+void Auditor::on_slot_begin(Slot slot) {
+  slot_ = slot;
+  ++report_.slots_audited;
+}
+
+void Auditor::on_read(Pid pid, Addr addr) {
+  (void)addr;
+  PidCycle& c = cycle_state(pid);
+  ++c.reads;
+  if (!options_.budgets) return;
+  if (c.wrote && !c.flagged_phase) {
+    c.flagged_phase = true;
+    AuditContext ctx;
+    ctx.slot = static_cast<std::int64_t>(slot_);
+    ctx.pids = {pid};
+    add(AuditCheck::kPhaseOrder,
+        "shared read after a shared write within one update cycle "
+        "(an update cycle is read*, compute, write*)",
+        std::move(ctx));
+  }
+  if (c.reads > read_budget_ && !c.flagged_reads) {
+    c.flagged_reads = true;
+    AuditContext ctx;
+    ctx.slot = static_cast<std::int64_t>(slot_);
+    ctx.pids = {pid};
+    add(AuditCheck::kReadBudget,
+        "update cycle exceeded the read budget of " +
+            std::to_string(read_budget_),
+        std::move(ctx));
+  }
+}
+
+void Auditor::on_write(Pid pid, Addr addr, Word value) {
+  (void)addr;
+  (void)value;
+  PidCycle& c = cycle_state(pid);
+  ++c.writes;
+  c.wrote = true;
+  if (!options_.budgets) return;
+  if (c.writes > write_budget_ && !c.flagged_writes) {
+    c.flagged_writes = true;
+    AuditContext ctx;
+    ctx.slot = static_cast<std::int64_t>(slot_);
+    ctx.pids = {pid};
+    add(AuditCheck::kWriteBudget,
+        "update cycle exceeded the write budget of " +
+            std::to_string(write_budget_),
+        std::move(ctx));
+  }
+}
+
+void Auditor::on_snapshot(Pid pid) {
+  PidCycle& c = cycle_state(pid);
+  if (!options_.budgets) return;
+  if (c.wrote && !c.flagged_phase) {
+    c.flagged_phase = true;
+    AuditContext ctx;
+    ctx.slot = static_cast<std::int64_t>(slot_);
+    ctx.pids = {pid};
+    add(AuditCheck::kPhaseOrder,
+        "whole-memory snapshot read after a shared write within one update "
+        "cycle",
+        std::move(ctx));
+  }
+}
+
+void Auditor::on_cycles_done(const SharedMemory& mem, Slot slot,
+                             std::span<const CycleTrace> traces,
+                             std::span<const Pid> live) {
+  for (const Pid pid : live) {
+    const CycleTrace& t = traces[pid];
+    if (!t.started) continue;
+    ++report_.cycles_audited;
+    report_.max_reads_in_cycle =
+        std::max(report_.max_reads_in_cycle, t.reads.size());
+    report_.max_writes_in_cycle =
+        std::max(report_.max_writes_in_cycle, t.writes.size());
+    if (options_.fingerprint) {
+      if (fingerprints_.size() < options_.max_fingerprints) {
+        fingerprints_.push_back({slot, pid, fingerprint_trace(slot, pid, t)});
+      } else {
+        report_.fingerprints_truncated = true;
+      }
+    }
+  }
+  if (options_.write_agreement &&
+      (model_ == CrcwModel::kCommon || model_ == CrcwModel::kWeak)) {
+    check_write_agreement(slot, traces, live);
+  }
+  if (options_.amnesia && !twins_.empty()) run_twins(mem, slot, traces);
+}
+
+void Auditor::check_write_agreement(Slot slot,
+                                    std::span<const CycleTrace> traces,
+                                    std::span<const Pid> live) {
+  cell_writes_.clear();
+  for (const Pid pid : live) {
+    const CycleTrace& t = traces[pid];
+    if (!t.started) continue;
+    for (const WriteOp& op : t.writes) {
+      auto [it, inserted] =
+          cell_writes_.try_emplace(op.addr, FirstWrite{op.value, pid, false});
+      if (inserted) continue;
+      FirstWrite& first = it->second;
+      if (model_ == CrcwModel::kCommon) {
+        if (op.value != first.value) {
+          AuditContext ctx;
+          ctx.slot = static_cast<std::int64_t>(slot);
+          ctx.cell = static_cast<std::int64_t>(op.addr);
+          ctx.pids = {first.pid, pid};
+          ctx.values = {first.value, op.value};
+          add(AuditCheck::kWriteAgreement,
+              "COMMON CRCW writers disagree at a cell (checked across all "
+              "started cycles, aborted ones included)",
+              std::move(ctx));
+        }
+        continue;
+      }
+      // WEAK: with >= 2 concurrent writers, every written value must be the
+      // designated one. The first writer's value is checked when a second
+      // writer reveals the concurrency, and only once.
+      if (!first.value_flagged && first.value != weak_value_) {
+        first.value_flagged = true;
+        AuditContext ctx;
+        ctx.slot = static_cast<std::int64_t>(slot);
+        ctx.cell = static_cast<std::int64_t>(op.addr);
+        ctx.pids = {first.pid, pid};
+        ctx.values = {first.value, op.value};
+        add(AuditCheck::kWriteAgreement,
+            "WEAK CRCW concurrent write of a non-designated value",
+            std::move(ctx));
+      }
+      if (op.value != weak_value_) {
+        AuditContext ctx;
+        ctx.slot = static_cast<std::int64_t>(slot);
+        ctx.cell = static_cast<std::int64_t>(op.addr);
+        ctx.pids = {pid, first.pid};
+        ctx.values = {op.value, first.value};
+        add(AuditCheck::kWriteAgreement,
+            "WEAK CRCW concurrent write of a non-designated value",
+            std::move(ctx));
+      }
+    }
+  }
+}
+
+void Auditor::run_twins(const SharedMemory& mem, Slot slot,
+                        std::span<const CycleTrace> traces) {
+  for (auto it = twins_.begin(); it != twins_.end();) {
+    const Pid pid = it->first;
+    const CycleTrace& real = traces[pid];
+    if (!real.started) {
+      // The processor left the live set without a cycle this slot (e.g. it
+      // halted last slot); failures erase their twin in on_transitions.
+      it = twins_.erase(it);
+      continue;
+    }
+    ++report_.twin_cycles;
+    // Step the fresh-boot twin against the same slot-start memory the real
+    // processor saw. The scratch trace keeps the twin's operations out of
+    // the engine's commit and out of this auditor's own counters/hashes
+    // (null hook).
+    CycleTrace scratch;
+    scratch.reset_for_cycle(/*log_reads=*/true);
+    CycleContext ctx(mem, scratch, pid, slot, kReadCap, kWriteCap,
+                     snapshot_allowed_, /*log_reads=*/true, nullptr);
+    std::string divergence;
+    try {
+      scratch.halting = !it->second->cycle(ctx);
+      divergence = diff_cycles(real, scratch);
+    } catch (const std::exception& e) {
+      divergence = std::string("fresh-boot twin threw: ") + e.what();
+    }
+    if (!divergence.empty()) {
+      AuditContext actx;
+      actx.slot = static_cast<std::int64_t>(slot);
+      actx.pids = {pid};
+      add(AuditCheck::kAmnesia,
+          "restarted processor diverges from a fresh-boot twin — behaviour "
+          "depends on private state a failure should have wiped (" +
+              divergence + ")",
+          std::move(actx));
+      it = twins_.erase(it);
+      continue;
+    }
+    if (scratch.halting) {
+      // The twin (and the matching real processor) halted cleanly: the
+      // restart has been shadowed to completion.
+      it = twins_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void Auditor::on_transitions(Slot slot, const FaultDecision& decision) {
+  (void)slot;
+  if (!options_.amnesia) return;
+  // Failures wipe the real processor's state, so the shadow dies with it.
+  for (const Pid pid : decision.fail_mid_cycle) twins_.erase(pid);
+  for (const Pid pid : decision.fail_after_cycle) twins_.erase(pid);
+  for (const TornWrite& tear : decision.torn) twins_.erase(tear.pid);
+  // Restarts boot a twin alongside the engine's own fresh state; from the
+  // next slot on both run the same cycles against the same memory.
+  for (const Pid pid : decision.restart) {
+    twins_[pid] = program_->boot(pid);
+    ++report_.restarts_watched;
+  }
+}
+
+void Auditor::on_run_end() { twins_.clear(); }
+
+}  // namespace rfsp

@@ -20,10 +20,11 @@ namespace rfsp {
 CycleContext::CycleContext(const SharedMemory& mem, CycleTrace& trace,
                            Pid pid, Slot slot, std::size_t read_budget,
                            std::size_t write_budget, bool snapshot_allowed,
-                           bool log_reads)
+                           bool log_reads, CycleAuditHook* audit)
     : mem_(mem), trace_(trace), pid_(pid), slot_(slot),
       read_budget_(read_budget), write_budget_(write_budget),
-      snapshot_allowed_(snapshot_allowed), log_reads_(log_reads) {}
+      snapshot_allowed_(snapshot_allowed), log_reads_(log_reads),
+      audit_(audit) {}
 
 namespace {
 ViolationContext cycle_ctx(Slot slot, Pid pid, const char* move) {
@@ -56,6 +57,7 @@ std::span<const Word> CycleContext::snapshot() {
                          cycle_ctx(slot_, pid_, "snapshot"));
   }
   trace_.used_snapshot = true;
+  if (audit_ != nullptr) audit_->on_snapshot(pid_);
   return mem_.words();
 }
 
@@ -230,6 +232,16 @@ Engine::Engine(const Program& program, EngineOptions options)
   log_reads_ = options_.log_reads ||
                (options_.model == CrcwModel::kErew &&
                 options_.detect_read_conflicts);
+  audit_ = options_.audit;
+  if (audit_ != nullptr) {
+    if (options_.cycle_threads > 1) {
+      throw ConfigError(
+          "EngineOptions::audit requires cycle_threads <= 1 (audit hooks run "
+          "unsynchronized on the calling thread)");
+    }
+    log_reads_ = true;  // the auditor needs the address traces
+    audit_->on_run_begin(program_, options_);
+  }
   if (options_.cycle_threads > 1) {
     lanes_.resize(options_.cycle_threads);
     pool_ = std::make_unique<CyclePool>(*this, options_.cycle_threads,
@@ -284,9 +296,13 @@ void Engine::commit_cell(Addr a, Word v) {
 void Engine::cycle_one(Pid pid, LaneLog& lane) {
   CycleTrace& trace = traces_[pid];
   trace.reset_for_cycle(log_reads_);
-  CycleContext ctx(mem_, trace, pid, slot_, options_.read_budget,
-                   options_.write_budget, options_.unit_cost_snapshot,
-                   log_reads_);
+  // In audit mode the *enforced* budgets widen to the storage caps: the
+  // auditor reports every over-budget cycle with context instead of the
+  // engine aborting the run at the first offence (the caps still throw).
+  CycleContext ctx(mem_, trace, pid, slot_,
+                   audit_ != nullptr ? kReadCap : options_.read_budget,
+                   audit_ != nullptr ? kWriteCap : options_.write_budget,
+                   options_.unit_cost_snapshot, log_reads_, audit_);
   const bool halting = !states_[pid]->cycle(ctx);
   trace.halting = halting;
   // Mirror the (still cache-hot) outcome into the lane's compact log.
@@ -674,6 +690,7 @@ RunResult Engine::run(Adversary& adversary) {
       options_.on_checkpoint(checkpoint(&adversary));
     }
 
+    if (audit_ != nullptr) audit_->on_slot_begin(slot_);
     const std::size_t started = run_cycles();
     if (started == 0) {
       const bool any_halted =
@@ -696,6 +713,13 @@ RunResult Engine::run(Adversary& adversary) {
           {static_cast<std::int64_t>(slot_), -1, "strand"});
     }
     tally_.peak_live = std::max<std::uint64_t>(tally_.peak_live, started);
+
+    // Audit sees the machine between the cycles and the adversary decision:
+    // memory still shows slot-start state, every started trace (including
+    // the ones the adversary is about to abort) holds its buffered writes.
+    if (audit_ != nullptr) {
+      audit_->on_cycles_done(mem_, slot_, traces_, live_pids_);
+    }
 
     const MachineView view(mem_, slot_, status_, traces_, live_pids_, tally_);
     FaultDecision decision = adversary.decide(view);
@@ -749,10 +773,12 @@ RunResult Engine::run(Adversary& adversary) {
     }
 
     apply_transitions(decision);
+    if (audit_ != nullptr) audit_->on_transitions(slot_, decision);
 
     ++slot_;
     ++tally_.slots;
   }
+  if (audit_ != nullptr) audit_->on_run_end();
 
   if (sink_ != nullptr) {
     TraceEvent event;

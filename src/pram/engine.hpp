@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "accounting/tally.hpp"
@@ -33,6 +34,35 @@ namespace rfsp {
 class TraceSink;        // obs/trace.hpp
 class MetricsRegistry;  // obs/metrics.hpp
 class Histogram;        // obs/metrics.hpp
+
+struct EngineOptions;
+
+// Slot-level observer interface of the model-conformance auditor
+// (src/analysis, docs/analysis.md), extending the per-operation
+// CycleAuditHook of pram/program.hpp. The engine drives an installed hook
+// (EngineOptions::audit) strictly on the calling thread:
+//   on_run_begin   — once, from the Engine constructor;
+//   on_slot_begin  — per slot, before any update cycle runs;
+//   on_read/on_write/on_snapshot — per operation, via CycleContext;
+//   on_cycles_done — per slot, after every live cycle ran but before the
+//                    adversary decides (memory still shows slot-start
+//                    state, traces hold the buffered writes — aborted
+//                    cycles included);
+//   on_transitions — per slot, after failures/halts/restarts took effect;
+//   on_run_end     — once, when the slot loop exits normally.
+// Audit mode implies read logging and is incompatible with
+// EngineOptions::cycle_threads > 1 (hooks would race): ConfigError.
+class EngineAuditHook : public CycleAuditHook {
+ public:
+  virtual void on_run_begin(const Program& program,
+                            const EngineOptions& options) = 0;
+  virtual void on_slot_begin(Slot slot) = 0;
+  virtual void on_cycles_done(const SharedMemory& mem, Slot slot,
+                              std::span<const CycleTrace> traces,
+                              std::span<const Pid> live) = 0;
+  virtual void on_transitions(Slot slot, const FaultDecision& decision) = 0;
+  virtual void on_run_end() = 0;
+};
 
 // A complete engine state at a slot boundary (docs/resilience.md §3):
 // restoring it into a fresh Engine and continuing the run is bit-identical
@@ -156,6 +186,19 @@ struct EngineOptions {
   // <= 1; off by default because the clock reads cost ~2 syscall-free
   // rdtsc-ish reads per worker per slot.
   bool profile_threads = false;
+
+  // --- Conformance auditing (src/analysis, docs/analysis.md) ----------------
+
+  // Model-conformance audit hook. Null (the default) keeps the fast path:
+  // the per-read/per-write and per-slot instrumentation costs one predicted
+  // null test each. When installed, the engine (1) forces read logging,
+  // (2) widens the *enforced* per-cycle budgets to the storage caps
+  // (kReadCap/kWriteCap) so over-budget cycles are reported by the auditor
+  // with context instead of aborting the run at the first offence — the
+  // engine still throws ModelViolation at the caps — and (3) requires
+  // cycle_threads <= 1 (ConfigError otherwise). The hook must outlive the
+  // engine.
+  EngineAuditHook* audit = nullptr;
 };
 
 // Wall-clock profile of one cycle-pool worker (EngineOptions::profile_threads).
@@ -309,6 +352,7 @@ class Engine {
   // events' name views point into its PhaseWork::name strings, which live
   // until the run moves them into RunResult::phases.
   static constexpr std::uint32_t kNoPhase = ~std::uint32_t{0};
+  EngineAuditHook* audit_ = nullptr;  // EngineOptions::audit
   TraceSink* sink_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   std::function<std::uint32_t(Slot)> phase_of_;

@@ -66,12 +66,26 @@ struct CycleTrace {
   }
 };
 
+// Observer of the individual shared-memory operations of update cycles, in
+// program order within each cycle — the per-operation half of the model-
+// conformance auditor (src/analysis, docs/analysis.md). CycleContext calls
+// these only when a hook is installed (EngineOptions::audit); with no hook
+// the per-read/per-write cost is one predicted null test.
+class CycleAuditHook {
+ public:
+  virtual ~CycleAuditHook() = default;
+  virtual void on_read(Pid pid, Addr addr) = 0;
+  virtual void on_write(Pid pid, Addr addr, Word value) = 0;
+  virtual void on_snapshot(Pid pid) = 0;
+};
+
 // Per-cycle facilities handed to ProcessorState::cycle by the engine.
 class CycleContext {
  public:
   CycleContext(const SharedMemory& mem, CycleTrace& trace, Pid pid, Slot slot,
                std::size_t read_budget, std::size_t write_budget,
-               bool snapshot_allowed, bool log_reads);
+               bool snapshot_allowed, bool log_reads,
+               CycleAuditHook* audit = nullptr);
 
   // Read one shared cell. Throws ModelViolation past the read budget.
   // Inline: one of the two per-operation hot paths of the whole engine.
@@ -83,6 +97,7 @@ class CycleContext {
     }
     ++reads_used_;
     if (log_reads_) trace_.reads.push_back(a);
+    if (audit_ != nullptr) audit_->on_read(pid_, a);
     return mem_.read(a);
   }
 
@@ -91,6 +106,7 @@ class CycleContext {
   void write(Addr a, Word v) {
     if (trace_.writes.size() >= write_budget_) throw_write_budget();
     trace_.writes.push_back({a, v});
+    if (audit_ != nullptr) audit_->on_write(pid_, a, v);
   }
 
   // Unit-cost whole-memory read — the strong model of §3 (Theorems 3.1/3.2)
@@ -121,6 +137,7 @@ class CycleContext {
   std::size_t reads_used_ = 0;
   bool snapshot_allowed_;
   bool log_reads_;
+  CycleAuditHook* audit_;
 };
 
 // The private side of one processor: its registers and control state.

@@ -56,6 +56,20 @@ class RecordingContext final : public StepContext {
   std::map<unsigned, Word> reg_stores_;
 };
 
+DisciplineReport fail(std::string what, Step t, Addr a, std::vector<Pid> pids,
+                      std::vector<Word> values) {
+  DisciplineReport report;
+  report.ok = false;
+  report.violation = std::move(what);
+  report.step = t;
+  report.cell = a;
+  report.context.slot = static_cast<std::int64_t>(t);
+  report.context.cell = static_cast<std::int64_t>(a);
+  report.context.pids = std::move(pids);
+  report.context.values = std::move(values);
+  return report;
+}
+
 }  // namespace
 
 DisciplineReport check_discipline(const SimProgram& program,
@@ -69,10 +83,10 @@ DisciplineReport check_discipline(const SimProgram& program,
 
   DisciplineReport report;
   for (Step t = 0; t < program.steps(); ++t) {
-    std::map<Addr, unsigned> readers;
+    std::map<Addr, std::vector<Pid>> readers;
     struct WriteInfo {
-      unsigned count = 0;
-      Word value = 0;
+      std::vector<Pid> pids;
+      std::vector<Word> values;
       bool all_weak = true;
     };
     std::map<Addr, WriteInfo> writers;
@@ -82,18 +96,18 @@ DisciplineReport check_discipline(const SimProgram& program,
     for (Pid j = 0; j < n; ++j) {
       RecordingContext ctx(program, memory, regs, j);
       program.step(ctx, j, t);
-      for (const Addr a : ctx.loads()) ++readers[a];
+      for (const Addr a : ctx.loads()) readers[a].push_back(j);
       for (const auto& [a, v] : ctx.stores()) {
         WriteInfo& info = writers[a];
-        if (info.count > 0 && info.value != v &&
+        if (!info.pids.empty() && info.values.back() != v &&
             discipline == CrcwModel::kCommon) {
-          return {.ok = false,
-                  .violation = "COMMON writers disagree",
-                  .step = t,
-                  .cell = a};
+          info.pids.push_back(j);
+          info.values.push_back(v);
+          return fail("COMMON writers disagree", t, a, std::move(info.pids),
+                      std::move(info.values));
         }
-        ++info.count;
-        info.value = v;
+        info.pids.push_back(j);
+        info.values.push_back(v);
         info.all_weak = info.all_weak && v == weak_value;
         pending[a] = v;  // last writer's value (ARBITRARY tie-break here)
       }
@@ -107,32 +121,26 @@ DisciplineReport check_discipline(const SimProgram& program,
     // read and a write to one cell by different processors never collide:
     // conflicts are read-vs-read (EREW only) and write-vs-write.
     if (discipline == CrcwModel::kErew) {
-      for (const auto& [a, count] : readers) {
-        if (count > 1) {
-          return {.ok = false,
-                  .violation = "concurrent read under EREW",
-                  .step = t,
-                  .cell = a};
+      for (auto& [a, pids] : readers) {
+        if (pids.size() > 1) {
+          return fail("concurrent read under EREW", t, a, std::move(pids),
+                      {});
         }
       }
     }
-    for (const auto& [a, info] : writers) {
-      if (info.count > 1 && (discipline == CrcwModel::kErew ||
-                             discipline == CrcwModel::kCrew)) {
-        return {.ok = false,
-                .violation = discipline == CrcwModel::kErew
-                                 ? "concurrent write under EREW"
-                                 : "concurrent write under CREW",
-                .step = t,
-                .cell = a};
+    for (auto& [a, info] : writers) {
+      if (info.pids.size() > 1 && (discipline == CrcwModel::kErew ||
+                                   discipline == CrcwModel::kCrew)) {
+        return fail(discipline == CrcwModel::kErew
+                        ? "concurrent write under EREW"
+                        : "concurrent write under CREW",
+                    t, a, std::move(info.pids), std::move(info.values));
       }
-      if (info.count > 1 && discipline == CrcwModel::kWeak &&
+      if (info.pids.size() > 1 && discipline == CrcwModel::kWeak &&
           !info.all_weak) {
-        return {.ok = false,
-                .violation = "concurrent write of a non-designated value "
-                             "under WEAK",
-                .step = t,
-                .cell = a};
+        return fail(
+            "concurrent write of a non-designated value under WEAK", t, a,
+            std::move(info.pids), std::move(info.values));
       }
     }
 

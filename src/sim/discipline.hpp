@@ -22,6 +22,7 @@
 
 #include <string>
 
+#include "analysis/report.hpp"
 #include "pram/types.hpp"
 #include "sim/sim_program.hpp"
 
@@ -33,6 +34,12 @@ struct DisciplineReport {
   std::string violation;
   Step step = 0;
   Addr cell = 0;
+  // The same violation-context shape the run-time auditor reports
+  // (analysis/report.hpp): context.slot is the synchronous step index,
+  // context.pids the colliding processors (readers for a read conflict,
+  // writers otherwise), context.values the written values aligned with
+  // pids where the check compares them.
+  AuditContext context;
 };
 
 DisciplineReport check_discipline(const SimProgram& program,

@@ -463,6 +463,7 @@ SimResult simulate(const SimProgram& program, Adversary& adversary,
 
   eopt.checkpoint_every = options.checkpoint_every;
   eopt.on_checkpoint = options.on_checkpoint;
+  eopt.audit = options.audit;
 
   Engine engine(outer, eopt);
   if (options.resume != nullptr) engine.restore(*options.resume, &adversary);

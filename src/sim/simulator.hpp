@@ -57,6 +57,14 @@ struct SimOptions {
   Slot checkpoint_every = 0;
   std::function<void(const EngineCheckpoint&)> on_checkpoint;
   const EngineCheckpoint* resume = nullptr;
+
+  // Conformance-audit passthrough (src/analysis, docs/analysis.md): the
+  // hook watches the *physical* machine's update cycles, i.e. it audits the
+  // simulator's own discipline, not the simulated program's. Note the
+  // simulation machine runs 5-read update cycles, so the audited read
+  // budget is 5 here. The record/replay obliviousness probe lives in
+  // analysis/oblivious.hpp (audit_simulation).
+  EngineAuditHook* audit = nullptr;
 };
 
 struct SimResult {
