@@ -59,7 +59,10 @@ using namespace rfsp;
                "  --metrics-out F save the run's metrics registry as JSON\n"
                "  --audit 1       run the model-conformance auditor on the\n"
                "                  physical machine; exit 6 on findings\n"
-               "  --audit-out F   save the audit report as JSONL\n";
+               "  --audit-out F   save the audit report as JSONL\n"
+               "  --batch 1       request the batched SoA backend; the\n"
+               "                  simulation program publishes no kernels yet\n"
+               "                  so the engine falls back to the interpreter\n";
   std::exit(2);
 }
 
@@ -104,6 +107,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = take("metrics-out", "");
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
+  const bool batch_on = take("batch", "0") != "0";
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
   if (checkpoint_every > 0 && checkpoint_file.empty()) {
     usage("--checkpoint-every needs --checkpoint FILE");
@@ -224,6 +228,7 @@ int main(int argc, char** argv) {
     MetricsRegistry metrics;
 
     SimOptions sim_options{.physical_processors = p, .inner = inner};
+    sim_options.batch = batch_on;
     sim_options.sink = sink.get();
     if (!metrics_out.empty()) sim_options.metrics = &metrics;
     if (checkpoint_every > 0) {

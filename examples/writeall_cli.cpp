@@ -90,6 +90,10 @@ using namespace rfsp;
       "                     when FILE ends in .csv)\n"
       "  --metrics-out FILE save the run's metrics registry as JSON\n"
       "  --phases 1         print the per-phase work breakdown\n"
+      "  --batch 1          batched SoA backend for ported algorithms\n"
+      "                     (falls back to the interpreter under --audit,\n"
+      "                     task programs, or per-op hooks; bit-identical)\n"
+      "  --cycle-threads K  parallel cycle execution with K workers (1)\n"
       "  --audit 1          run the model-conformance auditor (budgets,\n"
       "                     phase order, write agreement, amnesia twins,\n"
       "                     record/replay obliviousness); exit 6 on findings\n"
@@ -180,6 +184,8 @@ int main(int argc, char** argv) {
   const std::string trace_out = take("trace-out", "");
   const std::string metrics_out = take("metrics-out", "");
   const bool show_phases = take("phases", "0") != "0";
+  const bool batch_on = take("batch", "0") != "0";
+  const std::size_t cycle_threads = std::stoull(take("cycle-threads", "1"));
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
@@ -261,6 +267,8 @@ int main(int argc, char** argv) {
 
     EngineOptions options;
     options.max_slots = max_slots;
+    options.batch = batch_on;
+    options.cycle_threads = cycle_threads;
     options.bit_atomic_writes = have_replay && schedule_has_torn(replay_schedule);
     options.record_pattern = !pattern_out.empty();
     options.record_trace = !trace_file.empty();

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Batched-backend smoke check: run every batch-capable Write-All algorithm
+# at the E1 configuration (fault-free, N = P = 2^16) through writeall_cli
+# twice — interpreter and batched backend — and fail if either run misses
+# the goal or if any model-visible number (S, S', |F|, slots, sigma)
+# differs between the modes. Timing is printed for the log but never
+# gated: CI machines are too noisy to assert speedups, and bit-identity
+# is the invariant worth a red build.
+#
+# Usage: scripts/batch_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir=${1:-build}
+cli="$build_dir/examples/writeall_cli"
+
+if [ ! -x "$cli" ]; then
+  echo "error: $cli not found — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+n=65536
+status=0
+
+for algo in W V X VX; do
+  for batch in 0 1; do
+    start=$(date +%s%N)
+    if ! out=$("$cli" --algo "$algo" --n "$n" --p "$n" --batch "$batch"); then
+      echo "FAIL: $algo --batch $batch did not solve (exit $?)" >&2
+      echo "$out" >&2
+      status=1
+      continue
+    fi
+    elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+    # Everything the model can observe from the summary; timing excluded.
+    summary=$(grep -E 'solved|completed S|attempted S|\|F\||parallel time|sigma' \
+              <<<"$out")
+    if [ "$batch" = 0 ]; then
+      interp_summary=$summary
+      echo "$algo interp: ${elapsed_ms} ms"
+    else
+      echo "$algo batch:  ${elapsed_ms} ms"
+      if [ "$summary" != "$interp_summary" ]; then
+        echo "FAIL: $algo tally diverges between interpreter and batch:" >&2
+        diff <(echo "$interp_summary") <(echo "$summary") >&2 || true
+        status=1
+      fi
+    fi
+  done
+done
+
+if [ "$status" = 0 ]; then
+  echo "batch smoke OK: all tallies identical across modes"
+fi
+exit "$status"

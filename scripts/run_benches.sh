@@ -4,11 +4,13 @@
 # trajectory the ROADMAP tracks PR over PR.
 #
 # Usage:
-#   scripts/run_benches.sh [build-dir] [out-dir] [tag]
+#   scripts/run_benches.sh [build-dir] [out-dir] [tag] [--force]
 #
 # Defaults: build-dir = build, out-dir = <build-dir>/bench-results,
-# tag = $RFSP_BENCH_TAG or PR5. The aggregate lands in
-# <out-dir>/BENCH_<tag>.json.
+# tag = $RFSP_BENCH_TAG or PR6. The aggregate lands in
+# <out-dir>/BENCH_<tag>.json. If that file already exists the script
+# refuses to run (an aggregate is a point on the perf trajectory —
+# clobbering one silently rewrites history); pass --force to overwrite.
 #
 # Environment:
 #   RFSP_BENCH_TAG=…     aggregate name when the tag argument is omitted.
@@ -21,9 +23,26 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-build_dir=${1:-build}
-out_dir=${2:-"$build_dir/bench-results"}
-tag=${3:-${RFSP_BENCH_TAG:-PR5}}
+force=0
+positional=()
+for arg in "$@"; do
+  if [ "$arg" = "--force" ]; then
+    force=1
+  else
+    positional+=("$arg")
+  fi
+done
+
+build_dir=${positional[0]:-build}
+out_dir=${positional[1]:-"$build_dir/bench-results"}
+tag=${positional[2]:-${RFSP_BENCH_TAG:-PR6}}
+
+aggregate_out="$out_dir/BENCH_${tag}.json"
+if [ -e "$aggregate_out" ] && [ "$force" != 1 ]; then
+  echo "error: $aggregate_out already exists — pick another tag or pass" >&2
+  echo "       --force to overwrite the recorded trajectory point" >&2
+  exit 1
+fi
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found — build first:" >&2

@@ -28,6 +28,7 @@ class NoFailures final : public Adversary {
  public:
   std::string_view name() const override { return "none"; }
   FaultDecision decide(const MachineView&) override { return {}; }
+  bool inspects_cycles() const override { return false; }
 };
 
 struct RandomAdversaryOptions {
@@ -45,6 +46,9 @@ class RandomAdversary final : public Adversary {
 
   std::string_view name() const override { return "random"; }
   FaultDecision decide(const MachineView& view) override;
+  // Samples over started cycles only — reads CycleTrace::started, never the
+  // buffered writes, so the batched backend may skip trace materialization.
+  bool inspects_cycles() const override { return false; }
   void save_state(std::vector<std::uint64_t>& out) const override;
   void load_state(std::span<const std::uint64_t> data) override;
 
@@ -65,6 +69,7 @@ class ScheduledAdversary final : public Adversary {
 
   std::string_view name() const override { return "scheduled"; }
   FaultDecision decide(const MachineView& view) override;
+  bool inspects_cycles() const override { return false; }
   void save_state(std::vector<std::uint64_t>& out) const override;
   void load_state(std::span<const std::uint64_t> data) override;
 
@@ -89,6 +94,7 @@ class BurstAdversary final : public Adversary {
 
   std::string_view name() const override { return "burst"; }
   FaultDecision decide(const MachineView& view) override;
+  bool inspects_cycles() const override { return false; }
   void save_state(std::vector<std::uint64_t>& out) const override;
   void load_state(std::span<const std::uint64_t> data) override;
 
@@ -106,6 +112,7 @@ class ThrashingAdversary final : public Adversary {
 
   std::string_view name() const override { return "thrashing"; }
   FaultDecision decide(const MachineView& view) override;
+  bool inspects_cycles() const override { return false; }
   void save_state(std::vector<std::uint64_t>& out) const override;
   void load_state(std::span<const std::uint64_t> data) override;
 

@@ -75,6 +75,18 @@ class Adversary {
   // machine. Called exactly once per slot, in slot order.
   virtual FaultDecision decide(const MachineView& view) = 0;
 
+  // Capability declaration for the engine's batched backend: return false
+  // when decide() never reads a cycle's buffered writes, read log, or
+  // halting flag through MachineView::trace — at most CycleTrace::started
+  // (plus memory, statuses, slot, and tally, which stay fully valid). The
+  // engine then skips materializing per-cycle traces in batched mode
+  // entirely (it keeps the started flags maintained), removing the largest
+  // per-lane cost of the slot loop. The paper's distinction applies: an
+  // oblivious or position-watching adversary can say false; one that reads
+  // cycle internals (stalkers, the halving strategy, torn-write chaos)
+  // must keep the default true.
+  virtual bool inspects_cycles() const { return true; }
+
   // Checkpoint hooks (src/replay, docs/resilience.md): serialize the
   // adversary's mutable state (RNG, budgets, cursors) so a run resumed from
   // an engine checkpoint sees exactly the decisions the uninterrupted run

@@ -29,6 +29,8 @@ class IterationKiller final : public Adversary {
 
   std::string_view name() const override { return "iteration-killer"; }
   FaultDecision decide(const MachineView& view) override;
+  // Picks victims by CycleTrace::started alone.
+  bool inspects_cycles() const override { return false; }
 
  private:
   Slot window_;

@@ -15,7 +15,12 @@
 //
 // The deterministic cycle-level engine in src/pram remains the measurement
 // instrument (work counts need a clock); this runtime is the existence
-// proof on real hardware.
+// proof on real hardware. The two meet in the middle on throughput: the
+// engine's batched SoA backend (EngineOptions::batch, pram/soa.hpp) runs
+// vectorizable cycle kernels over contiguous lane groups — per engine
+// worker thread, so batch composes with cycle_threads — while this runtime
+// stays per-thread interpreted because its workers are genuinely
+// asynchronous and have no common slot to batch over.
 #pragma once
 
 #include <atomic>

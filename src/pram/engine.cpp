@@ -157,9 +157,13 @@ struct Engine::CyclePool {
       const std::size_t begin = std::min(pids.size(), index * chunk);
       const std::size_t end = std::min(pids.size(), begin + chunk);
       try {
-        LaneLog& lane = engine_.lanes_[index];
-        for (std::size_t i = begin; i < end; ++i) {
-          engine_.cycle_one(pids[i], lane);
+        if (engine_.kernel_ != nullptr) {
+          engine_.batch_chunk(index, pids.subspan(begin, end - begin));
+        } else {
+          LaneLog& lane = engine_.lanes_[index];
+          for (std::size_t i = begin; i < end; ++i) {
+            engine_.cycle_one(pids[i], lane);
+          }
         }
       } catch (...) {
         errors_[index] = std::current_exception();
@@ -204,6 +208,10 @@ Engine::Engine(const Program& program, EngineOptions options)
       options_.write_budget == 0 || options_.write_budget > kWriteCap) {
     throw ConfigError("per-cycle budgets out of range");
   }
+  // The lane logs store 32-bit cell addresses (pram/soa.hpp PendingWrite).
+  RFSP_CHECK_MSG(mem_.size() <= UINT32_MAX,
+                 "shared memory beyond 2^32 cells (lane logs use 32-bit "
+                 "addresses)");
   states_.resize(p);
   status_.assign(p, ProcStatus::kLive);
   traces_.resize(p);
@@ -211,10 +219,7 @@ Engine::Engine(const Program& program, EngineOptions options)
   mark_val_.assign(p, 0);
   cell_stamp_.assign(mem_.size(), 0);
   live_pids_.resize(p);
-  for (Pid pid = 0; pid < p; ++pid) {
-    states_[pid] = program_.boot(pid);
-    live_pids_[pid] = pid;
-  }
+  for (Pid pid = 0; pid < p; ++pid) live_pids_[pid] = pid;
   program_.init_memory(mem_);
 
   if (options_.incremental_goal) {
@@ -242,12 +247,41 @@ Engine::Engine(const Program& program, EngineOptions options)
     log_reads_ = true;  // the auditor needs the address traces
     audit_->on_run_begin(program_, options_);
   }
+
+  // Batched SoA backend: active only when nothing demands per-op hooks.
+  // Budgets below the paper defaults could make the interpreter throw
+  // where a kernel (which does not meter its reads) would not, so they
+  // force the interpreter too. ARBITRARY/PRIORITY resolve concurrent
+  // writes by commit order (first writer wins), and the batched lane logs
+  // order writes by control group before PID — exact under COMMON/WEAK
+  // (conflict rules are order-symmetric) but not under an order-sensitive
+  // discipline, so those fall back as well. Unported programs return
+  // nullptr.
+  if (options_.batch && audit_ == nullptr && !log_reads_ &&
+      options_.model != CrcwModel::kArbitrary &&
+      options_.model != CrcwModel::kPriority &&
+      options_.read_budget >= 4 && options_.write_budget >= 2) {
+    kernel_ = program_.batch_kernels();
+  }
+  if (kernel_ != nullptr) {
+    soa_ = SoaStore(p, kernel_->registers());
+    for (Pid pid = 0; pid < p; ++pid) kernel_->boot_lane(soa_, pid);
+  } else {
+    for (Pid pid = 0; pid < p; ++pid) states_[pid] = program_.boot(pid);
+  }
+
   if (options_.cycle_threads > 1) {
     lanes_.resize(options_.cycle_threads);
     pool_ = std::make_unique<CyclePool>(*this, options_.cycle_threads,
                                         options_.profile_threads);
   } else {
     lanes_.resize(1);
+  }
+  if (kernel_ != nullptr) {
+    batch_buckets_.resize(lanes_.size());
+    for (auto& buckets : batch_buckets_) {
+      buckets.resize(kernel_->control_states());
+    }
   }
 
   // Observability: resolve everything once here so the slot loop's only
@@ -308,8 +342,50 @@ void Engine::cycle_one(Pid pid, LaneLog& lane) {
   // Mirror the (still cache-hot) outcome into the lane's compact log.
   if (halting) lane.halts.push_back(pid);
   for (const WriteOp& op : trace.writes) {
-    lane.writes.push_back({op.addr, op.value, pid});
+    lane.writes.push_back({static_cast<std::uint32_t>(op.addr), pid,
+                           op.value});
   }
+}
+
+void Engine::batch_chunk(std::size_t lane_index, std::span<const Pid> pids) {
+  LaneLog& lane = lanes_[lane_index];
+  const BatchContext ctx{mem_.words(), slot_,
+                         batch_traces_ ? traces_.data() : nullptr, &lane};
+  auto& buckets = batch_buckets_[lane_index];
+  if (pids.empty()) return;
+  if (buckets.size() == 1) {
+    // Single control state: the chunk IS the lane group, so the kernel
+    // emits the lane log in exact ascending-PID order.
+    kernel_->run(0, pids, ctx, soa_);
+    return;
+  }
+  // Phase-synchronous programs keep every lane in one control state on
+  // almost every fault-free slot; one streaming scan of the control tags
+  // detects that and skips the bucket copy (and, since a single group
+  // walks ascending PIDs, the halt re-sort below).
+  const std::uint32_t c0 = soa_.ctrl(pids.front());
+  bool uniform = true;
+  for (const Pid pid : pids) {
+    if (soa_.ctrl(pid) != c0) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) {
+    kernel_->run(c0, pids, ctx, soa_);
+    return;
+  }
+  for (auto& bucket : buckets) bucket.clear();
+  for (const Pid pid : pids) buckets[soa_.ctrl(pid)].push_back(pid);
+  for (std::uint32_t c = 0; c < buckets.size(); ++c) {
+    if (!buckets[c].empty()) kernel_->run(c, buckets[c], ctx, soa_);
+  }
+  // Several groups emitted in ctrl-before-PID order. Write order across
+  // lanes is unobservable under the disciplines the backend accepts
+  // (COMMON/WEAK conflict rules are order-symmetric; the constructor
+  // refuses ARBITRARY/PRIORITY), but halt events reach the trace sink in
+  // log order, so restore ascending PIDs for those.
+  std::sort(lane.halts.begin(), lane.halts.end());
 }
 
 std::size_t Engine::run_cycles() {
@@ -319,6 +395,8 @@ std::size_t Engine::run_cycles() {
   }
   if (pool_ && live_pids_.size() > 1) {
     pool_->run_slot(live_pids_);
+  } else if (kernel_ != nullptr) {
+    batch_chunk(0, live_pids_);
   } else {
     for (Pid pid : live_pids_) cycle_one(pid, lanes_.front());
   }
@@ -464,43 +542,46 @@ void Engine::commit_writes(const FaultDecision& d) {
     std::fill(cell_stamp_.begin(), cell_stamp_.end(), 0u);
     commit_epoch_ = 1;
   }
+  const auto commit_op = [&](Addr addr, Word value, Pid pid) {
+    if (cell_stamp_[addr] != commit_epoch_) {
+      cell_stamp_[addr] = commit_epoch_;
+      commit_cell(addr, value);
+      return;
+    }
+    switch (options_.model) {
+      case CrcwModel::kCommon:
+        if (value != mem_.read(addr)) {
+          throw ModelViolation(
+              "COMMON CRCW conflict: concurrent writers disagree at cell " +
+                  std::to_string(addr),
+              cycle_ctx(slot_, pid, "commit"));
+        }
+        break;
+      case CrcwModel::kWeak:
+        if (value != options_.weak_value ||
+            mem_.read(addr) != options_.weak_value) {
+          throw ModelViolation(
+              "WEAK CRCW conflict: concurrent write of a non-designated "
+              "value at cell " +
+                  std::to_string(addr),
+              cycle_ctx(slot_, pid, "commit"));
+        }
+        break;
+      case CrcwModel::kArbitrary:
+      case CrcwModel::kPriority:
+        // Deterministic resolution: the lowest PID already won.
+        break;
+      case CrcwModel::kCrew:
+      case CrcwModel::kErew:
+        throw ModelViolation("concurrent write under CREW/EREW at cell " +
+                                 std::to_string(addr),
+                             cycle_ctx(slot_, pid, "commit"));
+    }
+  };
   for (const LaneLog& lane : lanes_) {
     for (const PendingWrite& op : lane.writes) {
       if (casualties && mark_get(op.pid) != 0) continue;
-      if (cell_stamp_[op.addr] != commit_epoch_) {
-        cell_stamp_[op.addr] = commit_epoch_;
-        commit_cell(op.addr, op.value);
-        continue;
-      }
-      switch (options_.model) {
-        case CrcwModel::kCommon:
-          if (op.value != mem_.read(op.addr)) {
-            throw ModelViolation(
-                "COMMON CRCW conflict: concurrent writers disagree at cell " +
-                    std::to_string(op.addr),
-                cycle_ctx(slot_, op.pid, "commit"));
-          }
-          break;
-        case CrcwModel::kWeak:
-          if (op.value != options_.weak_value ||
-              mem_.read(op.addr) != options_.weak_value) {
-            throw ModelViolation(
-                "WEAK CRCW conflict: concurrent write of a non-designated "
-                "value at cell " +
-                    std::to_string(op.addr),
-                cycle_ctx(slot_, op.pid, "commit"));
-          }
-          break;
-        case CrcwModel::kArbitrary:
-        case CrcwModel::kPriority:
-          // Deterministic resolution: the lowest PID already won.
-          break;
-        case CrcwModel::kCrew:
-        case CrcwModel::kErew:
-          throw ModelViolation("concurrent write under CREW/EREW at cell " +
-                                   std::to_string(op.addr),
-                               cycle_ctx(slot_, op.pid, "commit"));
-      }
+      commit_op(op.addr, op.value, op.pid);
     }
   }
 
@@ -551,31 +632,40 @@ void Engine::apply_transitions(const FaultDecision& d) {
   // adversary failed this slot is no longer kLive and stays failed, i.e.
   // restartable) ...
   std::size_t halts = 0;
-  for (const LaneLog& lane : lanes_) {
-    for (Pid pid : lane.halts) {
-      if (status_[pid] == ProcStatus::kLive) {
-        states_[pid].reset();
-        status_[pid] = ProcStatus::kHalted;
-        traces_[pid].clear();
-        mark_set(pid, 1);
-        ++halts;
-        ++tally_.halted;
-        if (sink_ != nullptr) {
-          // Lanes hold contiguous ascending PID chunks, so halt events come
-          // out in PID order regardless of cycle_threads.
-          TraceEvent event;
-          event.kind = TraceEventKind::kHalt;
-          event.slot = slot_;
-          event.pid = pid;
-          sink_->on_event(event);
-        }
-      }
+  const auto halt_one = [&](Pid pid) {
+    if (status_[pid] != ProcStatus::kLive) return;
+    states_[pid].reset();
+    status_[pid] = ProcStatus::kHalted;
+    traces_[pid].clear();
+    mark_set(pid, 1);
+    ++halts;
+    ++tally_.halted;
+    if (sink_ != nullptr) {
+      // Both sources walk ascending PIDs (lanes hold contiguous ascending
+      // chunks), so halt events come out in PID order regardless of
+      // cycle_threads or the batch backend.
+      TraceEvent event;
+      event.kind = TraceEventKind::kHalt;
+      event.slot = slot_;
+      event.pid = pid;
+      sink_->on_event(event);
     }
+  };
+  for (const LaneLog& lane : lanes_) {
+    for (Pid pid : lane.halts) halt_one(pid);
   }
 
   // ... and restarts boot fresh states, live from the next slot.
   for (Pid pid : d.restart) {
-    states_[pid] = program_.boot(pid);
+    if (kernel_ != nullptr) {
+      kernel_->boot_lane(soa_, pid);
+      // On the no-trace fast path the started flag stands in for the whole
+      // trace (it is all the adversary and validate_decision may read);
+      // fail/halt cleared it above, a restarted lane runs from next slot.
+      if (!batch_traces_) traces_[pid].started = true;
+    } else {
+      states_[pid] = program_.boot(pid);
+    }
     status_[pid] = ProcStatus::kLive;
   }
 
@@ -613,7 +703,12 @@ EngineCheckpoint Engine::checkpoint(const Adversary* adversary) const {
   for (Pid pid = 0; pid < states_.size(); ++pid) {
     if (status_[pid] != ProcStatus::kLive) continue;
     std::vector<Word> blob;
-    if (!states_[pid]->save_state(blob)) {
+    if (kernel_ != nullptr) {
+      // Batched mode: the kernel serializes the lane's SoA registers into
+      // the same word stream ProcessorState::save_state would produce, so
+      // checkpoints cross freely between batch and interpreter runs.
+      kernel_->save_lane(soa_, pid, blob);
+    } else if (!states_[pid]->save_state(blob)) {
       throw ConfigError("program '" + std::string(program_.name()) +
                         "' does not support checkpointing "
                         "(ProcessorState::save_state returned false for pid " +
@@ -646,12 +741,16 @@ void Engine::restore(const EngineCheckpoint& cp, Adversary* adversary) {
       throw ConfigError("checkpoint lacks the private state of live pid " +
                         std::to_string(pid));
     }
-    states_[pid] = program_.load_state(pid, *cp.states[pid]);
-    if (states_[pid] == nullptr) {
-      throw ConfigError("program '" + std::string(program_.name()) +
-                        "' cannot rebuild processor states "
-                        "(Program::load_state returned nullptr for pid " +
-                        std::to_string(pid) + ")");
+    if (kernel_ != nullptr) {
+      kernel_->load_lane(soa_, pid, *cp.states[pid]);
+    } else {
+      states_[pid] = program_.load_state(pid, *cp.states[pid]);
+      if (states_[pid] == nullptr) {
+        throw ConfigError("program '" + std::string(program_.name()) +
+                          "' cannot rebuild processor states "
+                          "(Program::load_state returned nullptr for pid " +
+                          std::to_string(pid) + ")");
+      }
     }
     live_pids_.push_back(pid);
   }
@@ -669,6 +768,20 @@ void Engine::restore(const EngineCheckpoint& cp, Adversary* adversary) {
 RunResult Engine::run(Adversary& adversary) {
   if (ran_) throw ConfigError("Engine::run is single-shot");
   ran_ = true;
+
+  // Oblivious fast path: with kernels active, skip per-PID CycleTrace
+  // materialization unless the adversary reads cycle internals or torn
+  // writes need the buffered-write view. All anyone may then read from a
+  // trace is `started`, which equals "ran a cycle this slot" == live — so
+  // seed the flags for the current live set and keep them in step at
+  // fail/halt (clear) and restart (apply_transitions) time.
+  if (kernel_ != nullptr) {
+    batch_traces_ =
+        adversary.inspects_cycles() || options_.bit_atomic_writes;
+    if (!batch_traces_) {
+      for (const Pid pid : live_pids_) traces_[pid].started = true;
+    }
+  }
 
   RunResult result;
   const Slot checkpoint_every = options_.checkpoint_every;

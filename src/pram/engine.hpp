@@ -27,6 +27,7 @@
 #include "fault/pattern.hpp"
 #include "pram/memory.hpp"
 #include "pram/program.hpp"
+#include "pram/soa.hpp"
 #include "pram/types.hpp"
 
 namespace rfsp {
@@ -134,6 +135,26 @@ struct EngineOptions {
   // Program::goal once per slot. Results are identical by the goal_cells
   // contract; this switch exists for ablation and regression testing.
   bool incremental_goal = true;
+
+  // Batched SoA execution: run the program's BatchKernel (when it offers
+  // one via Program::batch_kernels) over contiguous lane groups instead of
+  // stepping per-processor ProcessorState::cycle calls. Results are
+  // bit-identical to the interpreter — same WorkTally, commit order, trace
+  // stream, and checkpoints — because kernels emit the same PID-tagged
+  // lane logs the commit path consumes (pram/soa.hpp). When the adversary
+  // declares it never inspects cycle internals (Adversary::
+  // inspects_cycles) and torn writes are off, kernels skip materializing
+  // per-PID CycleTraces entirely — the oblivious fast path that makes the
+  // backend pay at scale. The engine silently falls back to the
+  // interpreter whenever per-op hooks demand it: an installed audit hook,
+  // read logging (explicit or forced by the EREW conflict check), budgets
+  // below the paper defaults (4 reads / 2 writes — kernels assume full
+  // budgets), an ARBITRARY/PRIORITY conflict model (its first-writer-wins
+  // rule observes cross-lane-group write order, which batching reorders;
+  // COMMON/WEAK cannot observe it), or a program without kernels.
+  // Engine::batch_active() reports which path was chosen. Composes with
+  // cycle_threads: each pool worker batches its own contiguous PID chunk.
+  bool batch = false;
 
   // Deterministic parallel cycle execution: values > 1 step the live
   // processors' update cycles across a pool of this many OS threads.
@@ -260,6 +281,11 @@ class Engine {
 
   const EngineOptions& options() const { return options_; }
 
+  // Whether the batched SoA backend is driving the cycle phase (true iff
+  // EngineOptions::batch was set, the program offered kernels, and no
+  // audit/read-logging/budget constraint forced the interpreter).
+  bool batch_active() const { return kernel_ != nullptr; }
+
   // Diagnostics: the incremental unsatisfied-cell count, present iff the
   // program opted in via Program::goal_cells and the engine is using it.
   // After a run it must equal the number of goal cells failing
@@ -267,27 +293,25 @@ class Engine {
   std::optional<std::uint64_t> goal_unsatisfied() const;
 
  private:
-  // One execution lane's compact per-slot log, filled during the cycle
-  // phase while each processor's freshly written trace is still cache-hot:
-  // every buffered write (tagged with its writer) plus the would-be
-  // halters, both in PID order within a lane. Sequential runs use one lane;
-  // with cycle_threads > 1 each worker owns the lane of its (contiguous,
-  // ascending) PID chunk, so reading the lanes in index order replays exact
-  // sequential PID order. commit_writes and apply_transitions consume these
-  // instead of re-streaming every live processor's trace per slot.
-  struct PendingWrite {
-    Addr addr;
-    Word value;
-    Pid pid;
-  };
-  struct LaneLog {
-    std::vector<PendingWrite> writes;
-    std::vector<Pid> halts;
-  };
+  // Lane logs (pram/soa.hpp LaneLog): one execution lane's compact per-slot
+  // log, filled during the cycle phase while each processor's freshly
+  // written trace is still cache-hot — every buffered write (tagged with
+  // its writer) plus the would-be halters, both in PID order within a lane.
+  // Sequential runs use one lane; with cycle_threads > 1 each worker owns
+  // the lane of its (contiguous, ascending) PID chunk, so reading the lanes
+  // in index order replays exact sequential PID order. commit_writes and
+  // apply_transitions consume these instead of re-streaming every live
+  // processor's trace per slot.
 
   std::size_t run_cycles();  // step 1; returns # of started cycles
   // One processor's update cycle into traces_ plus `lane`'s compact log.
   void cycle_one(Pid pid, LaneLog& lane);
+  // Batched path: run the kernel over `pids` (one worker's contiguous,
+  // ascending chunk), grouped by control state. The kernel fills lane
+  // `lane_index`'s compact log directly (LaneEmit), mirroring into traces_
+  // only when batch_traces_ — identical to what cycle_one calls over the
+  // same chunk would have produced.
+  void batch_chunk(std::size_t lane_index, std::span<const Pid> pids);
   // Per-slot phase attribution + event/metric emission; called once per
   // slot after the decision is validated, only when observability is on.
   void observe_slot(const FaultDecision& d, std::size_t started,
@@ -346,6 +370,22 @@ class Engine {
   // Per-lane cycle-phase logs (see LaneLog): one for sequential runs,
   // cycle_threads of them when the pool is active.
   std::vector<LaneLog> lanes_;
+
+  // Batched SoA backend (EngineOptions::batch): the program's kernels, the
+  // register/control store they run over, and per-worker bucket scratch
+  // for grouping a chunk's PIDs by control state. kernel_ == nullptr means
+  // the interpreter path (states_) is active; in batch mode states_ stays
+  // null and all private state lives in soa_.
+  std::unique_ptr<BatchKernel> kernel_;
+  SoaStore soa_;
+  std::vector<std::vector<std::vector<Pid>>> batch_buckets_;
+  // Whether batched kernels materialize per-PID CycleTraces. False — the
+  // oblivious fast path — when the adversary declares it never reads cycle
+  // internals (Adversary::inspects_cycles), torn writes are off, and no
+  // trace recording wants the data; the engine then maintains only the
+  // `started` flags (set at boot/restart, cleared by fail/halt), which is
+  // all such adversaries and validate_decision consult. Decided per run.
+  bool batch_traces_ = true;
 
   // Observability state (EngineOptions::sink / metrics / attribute_phases).
   // phase_work_ is non-empty iff phase attribution is active; the kPhase

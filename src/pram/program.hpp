@@ -173,6 +173,8 @@ struct GoalCells {
   Addr count = 0;
 };
 
+class BatchKernel;  // pram/soa.hpp
+
 // A complete P-processor program: memory layout, boot states, goal.
 class Program {
  public:
@@ -225,6 +227,16 @@ class Program {
     (void)data;
     return nullptr;
   }
+
+  // Batched-backend opt-in (pram/soa.hpp, EngineOptions::batch): return a
+  // BatchKernel exposing this program's cycle bodies as straight-line
+  // per-lane kernels over SoA registers, or nullptr (the default) to keep
+  // the per-processor interpreter. The kernel must be bit-identical to the
+  // ProcessorState path: same buffered writes, halting decisions, and
+  // checkpoint word streams. Consulted once, at engine construction, and
+  // only when EngineOptions::batch is set and no per-op hook (audit, read
+  // logging) forces the interpreter. Defined in pram/soa.cpp.
+  virtual std::unique_ptr<BatchKernel> batch_kernels() const;
 
   // Observability opt-in (see obs/phase.hpp): declare the fixed-length
   // phase schedule the program's slots follow, so the engine can attribute

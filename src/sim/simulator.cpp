@@ -451,6 +451,7 @@ SimResult simulate(const SimProgram& program, Adversary& adversary,
   eopt.read_budget = 5;
   eopt.write_budget = 2;
   eopt.max_slots = options.max_slots;
+  eopt.batch = options.batch;
   eopt.record_pattern = options.record_pattern;
   eopt.sink = options.sink;
   eopt.metrics = options.metrics;

@@ -43,6 +43,11 @@ struct SimOptions {
   SimInner inner = SimInner::kCombinedVX;
   Slot max_slots = Slot{1} << 26;
   bool record_pattern = false;
+  // Batched-backend passthrough (EngineOptions::batch). The simulation
+  // program does not publish cycle kernels today, so this is forwarded for
+  // interface parity and falls back to the interpreter; it becomes live the
+  // moment the simulation's pass programs gain kernels.
+  bool batch = false;
   // Observability passthrough (see obs/trace.hpp, obs/metrics.hpp): the
   // engine emits slot/failure/restart/halt events to `sink` and run totals
   // into `metrics`. The simulation has no fixed-length phase structure

@@ -126,6 +126,10 @@ class AlgV final : public WriteAllProgram {
   // T_iter (observability attribution; see obs/phase.hpp).
   std::optional<PhaseSchedule> phase_schedule() const override;
 
+  // Batched backend (writeall/kernels.cpp); nullptr when a TaskSpec is
+  // configured (task micro-cycles need the per-op CycleContext).
+  std::unique_ptr<BatchKernel> batch_kernels() const override;
+
   // goal() is the progress-tree root reaching the leaf total.
   std::optional<GoalCells> goal_cells() const override {
     return GoalCells{layout_.c(1), 1};

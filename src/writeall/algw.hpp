@@ -98,6 +98,10 @@ class AlgW final : public WriteAllProgram {
   // update, by slot mod the iteration length (observability attribution).
   std::optional<PhaseSchedule> phase_schedule() const override;
 
+  // Batched backend (writeall/kernels.cpp): always available — W is
+  // standalone-only, so there is no TaskSpec to force the interpreter.
+  std::unique_ptr<BatchKernel> batch_kernels() const override;
+
   // goal() is the progress-tree root reaching the leaf total (stamp 0: W
   // is standalone-only).
   std::optional<GoalCells> goal_cells() const override {

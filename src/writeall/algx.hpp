@@ -143,6 +143,10 @@ class AlgX final : public WriteAllProgram {
   // algorithms and the sink still gets one phase event per run.
   std::optional<PhaseSchedule> phase_schedule() const override;
 
+  // Batched backend (writeall/kernels.cpp); nullptr when a TaskSpec is
+  // configured (task micro-cycles need the per-op CycleContext).
+  std::unique_ptr<BatchKernel> batch_kernels() const override;
+
   // goal() is the root of the d heap turning non-zero.
   std::optional<GoalCells> goal_cells() const override {
     return GoalCells{layout_.d(1), 1};

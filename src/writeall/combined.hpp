@@ -70,6 +70,10 @@ class CombinedVX final : public WriteAllProgram {
   // ("v-alloc" / "v-work" / "v-update"). Observability attribution only.
   std::optional<PhaseSchedule> phase_schedule() const override;
 
+  // Batched backend (writeall/kernels.cpp); nullptr when a TaskSpec is
+  // configured (task micro-cycles need the per-op CycleContext).
+  std::unique_ptr<BatchKernel> batch_kernels() const override;
+
   // goal() is the shared completion flag turning non-zero.
   std::optional<GoalCells> goal_cells() const override {
     return GoalCells{layout_.done, 1};

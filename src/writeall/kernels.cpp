@@ -1,0 +1,788 @@
+#include "writeall/kernels.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/wordio.hpp"
+#include "writeall/algv.hpp"
+#include "writeall/algw.hpp"
+#include "writeall/algx.hpp"
+#include "writeall/combined.hpp"
+
+namespace rfsp {
+namespace {
+
+// Control-state tags for the iteration-synchronized algorithms (W, V, VX):
+// a restarted lane waits for the wrap-around before rejoining. X is
+// memoryless across cycles, so it has a single control state.
+constexpr std::uint32_t kActive = 0;
+constexpr std::uint32_t kWaiting = 1;
+
+// Lane emission goes through LaneEmit (pram/soa.hpp): writes and halts
+// land in the chunk's lane log, mirrored into the CycleTrace array only
+// when the engine materializes traces. No budget check: the ported bodies
+// write at most 2 cells per cycle and the engine only selects a kernel
+// when the configured budgets cover the interpreter's usage.
+
+// Per-slot memo for the allocation descent (W's rank split and V's PID
+// split). Every lane at one progress-tree node with one live interval
+// [lo, hi) computes the same unassigned counts and the same 64-bit split
+// division — and lanes walk a group in ascending PID order, so equal keys
+// arrive in long runs. A one-entry cache keyed on (node, lo, hi) therefore
+// removes nearly every division (the single most expensive ALU op of the
+// alloc slots) while staying bit-identical: the cached values are pure
+// functions of the key and the slot-start memory.
+struct AllocMemo {
+  Addr node = 0;  // 0 = empty (tree node ids start at 1)
+  Pid lo = 0;
+  Pid hi = 0;
+  Addr u = 0;   // unassigned leaves below `node`
+  Addr rl = 0;  // real leaves below the left child
+  Pid nl = 0;   // lanes sent left (meaningful only when u > 0)
+};
+
+inline void expect_word(WordReader& r, std::uint64_t want, const char* what) {
+  if (r.get_u64() != want) {
+    throw ConfigError(std::string("checkpoint state does not match the "
+                                  "batched kernel: unexpected ") +
+                      what);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm X: one navigate cycle for one lane. All traversal state lives
+// in shared memory (w[pid]), so the lane body is a pure function of the
+// slot-start memory — shared verbatim by the standalone X kernel and the
+// odd slots of the combined kernel.
+
+void x_navigate_lane(const WriteAllConfig& config, const XLayout& lay,
+                     const std::optional<Addr>& done_flag,
+                     std::span<const Word> mem, Pid pid, LaneEmit& em) {
+  const Word stamp = config.stamp;
+
+  const Word wv = payload_of(mem[lay.w(pid)], stamp);
+  if (wv == 0) {
+    // Never initialized (or failed before the first write completed).
+    const Addr idx = config.spaced_placement
+                         ? (static_cast<Addr>(pid) * lay.n_pad) / lay.p
+                         : static_cast<Addr>(pid) % lay.n_pad;
+    em.write(lay.w(pid), stamped(stamp, static_cast<Word>(lay.leaf(idx))));
+    return;
+  }
+  if (wv == lay.exited()) {
+    em.halt();
+    return;
+  }
+
+  const Addr pos = static_cast<Addr>(wv);
+  RFSP_CHECK_MSG(pos >= 1 && pos < 2 * lay.n_pad,
+                 "corrupt traversal position");
+
+  const bool done = payload_of(mem[lay.d(pos)], stamp) != 0;
+  if (done) {
+    const Addr up = pos / 2;
+    em.write(lay.w(pid),
+             stamped(stamp, up == 0 ? lay.exited() : static_cast<Word>(up)));
+    return;
+  }
+
+  if (pos >= lay.n_pad) {  // at a leaf
+    const Addr element = pos - lay.n_pad;
+    if (element >= lay.n) {
+      em.write(lay.d(pos), stamped(stamp, 1));
+      return;
+    }
+    const bool visited = payload_of(mem[lay.x(element)], stamp) != 0;
+    if (visited) {
+      em.write(lay.d(pos), stamped(stamp, 1));
+      if (done_flag && pos == 1) {
+        em.write(*done_flag, stamped(stamp, 1));
+      }
+      return;
+    }
+    em.write(lay.x(element), stamped(stamp, 1));
+    return;
+  }
+
+  const Addr left = 2 * pos;
+  const Addr right = 2 * pos + 1;
+  const bool left_done = lay.structurally_done(left) ||
+                         payload_of(mem[lay.d(left)], stamp) != 0;
+  const bool right_done = lay.structurally_done(right) ||
+                          payload_of(mem[lay.d(right)], stamp) != 0;
+  if (left_done && right_done) {
+    em.write(lay.d(pos), stamped(stamp, 1));
+    if (done_flag && pos == 1) em.write(*done_flag, stamped(stamp, 1));
+    return;
+  }
+  Addr next;
+  if (left_done != right_done) {
+    next = left_done ? right : left;
+  } else {
+    const unsigned depth = floor_log2(pos);
+    const std::uint64_t significant =
+        static_cast<std::uint64_t>(pid) % lay.n_pad;
+    next = msb_bit(significant, depth, lay.height) ? right : left;
+  }
+  em.write(lay.w(pid), stamped(stamp, static_cast<Word>(next)));
+}
+
+// The constant tail of an X state's checkpoint stream (mode kNavigate, no
+// task progress, no scratch, no RNG — the only private state a batchable X
+// instance can have).
+void x_save_words(WordWriter& w) {
+  w.put_u64(0);      // mode_ = kNavigate
+  w.put_u64(0);      // task_leaf_
+  w.put_u64(0);      // task_k_
+  w.put_u64(0);      // scratch_ (empty span)
+  w.put_bool(false); // rng_ absent
+}
+
+void x_load_words(WordReader& r) {
+  expect_word(r, 0, "X mode (kernels cover kNavigate only)");
+  expect_word(r, 0, "X task leaf");
+  expect_word(r, 0, "X task micro-cycle");
+  expect_word(r, 0, "X scratch size");
+  expect_word(r, 0, "X RNG flag");
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm V: the three-phase body over SoA registers, shared by the
+// standalone V kernel (stride-1 clock, no done flag) and the even slots of
+// the combined kernel (stride-2 clock, shared done flag). `phi` is the
+// position inside the iteration on the instance's virtual clock.
+
+constexpr std::size_t kVNode = 0;
+constexpr std::size_t kVLo = 1;
+constexpr std::size_t kVHi = 2;
+constexpr std::size_t kVLeaf = 3;
+
+void v_boot_lane(SoaStore& soa, Pid pid) {
+  soa.set_ctrl(pid, kWaiting);
+  soa.reg(kVNode, pid) = 1;
+  soa.reg(kVLo, pid) = 0;
+  soa.reg(kVHi, pid) = 0;
+  soa.reg(kVLeaf, pid) = 0;
+}
+
+// Waiting lanes at phi != 0: poll completion (one uniform cell for the
+// whole group), join at the last slot of the iteration.
+void v_run_waiting(const WriteAllConfig& config, const VLayout& lay,
+                   const std::optional<Addr>& done_flag,
+                   const BatchContext& ctx, SoaStore& soa,
+                   std::span<const Pid> pids, Slot phi) {
+  const Word stamp = config.stamp;
+  const bool finished =
+      done_flag ? payload_of(ctx.mem[*done_flag], stamp) != 0
+                : payload_of(ctx.mem[lay.c(1)], stamp) ==
+                      static_cast<Word>(lay.leaves_real);
+  const bool join = phi == lay.iteration - 1;
+  for (const Pid pid : pids) {
+    LaneEmit em(ctx, pid);
+    if (finished) {
+      em.halt();
+    } else if (join) {
+      soa.set_ctrl(pid, kActive);
+    }
+  }
+}
+
+void v_alloc_lane(const VLayout& lay, const std::optional<Addr>& done_flag,
+                  Word stamp, std::span<const Word> mem, SoaStore& soa,
+                  Pid pid, LaneEmit& em, Slot k, AllocMemo& memo) {
+  const Addr node = static_cast<Addr>(soa.reg(kVNode, pid));
+  const Addr left = 2 * node;
+  const Addr right = 2 * node + 1;
+  const Pid lo = static_cast<Pid>(soa.reg(kVLo, pid));
+  const Pid hi = static_cast<Pid>(soa.reg(kVHi, pid));
+  if (node != memo.node || lo != memo.lo || hi != memo.hi) {
+    const Word cl = payload_of(mem[lay.c(left)], stamp);
+    const Word cr = payload_of(mem[lay.c(right)], stamp);
+    const Addr rl = lay.real_leaves_below(left);
+    const Addr rr = lay.real_leaves_below(right);
+    const Addr ul = rl - std::min<Addr>(rl, static_cast<Addr>(cl));
+    const Addr ur = rr - std::min<Addr>(rr, static_cast<Addr>(cr));
+    const Addr u = ul + ur;
+    const Pid nl =
+        u == 0 ? 0
+               : static_cast<Pid>(
+                     (static_cast<std::uint64_t>(hi - lo) * ul) / u);
+    memo = {node, lo, hi, u, rl, nl};
+  }
+
+  if (memo.u == 0) {
+    if (node == 1) {
+      em.write(lay.c(1), stamped(stamp, static_cast<Word>(lay.leaves_real)));
+      if (done_flag) em.write(*done_flag, stamped(stamp, 1));
+      em.halt();
+      return;
+    }
+    // Stale-count repair descent (see algv.cpp).
+    const Addr next = memo.rl > 0 ? left : right;
+    soa.reg(kVNode, pid) = static_cast<Word>(next);
+    if (k + 1 == lay.phase_alloc) {
+      soa.reg(kVLeaf, pid) = static_cast<Word>(next - lay.leaves);
+    }
+    return;
+  }
+
+  Addr next;
+  if (pid < lo + memo.nl) {
+    next = left;
+    soa.reg(kVHi, pid) = lo + memo.nl;
+  } else {
+    next = right;
+    soa.reg(kVLo, pid) = lo + memo.nl;
+  }
+  soa.reg(kVNode, pid) = static_cast<Word>(next);
+  if (k + 1 == lay.phase_alloc) {
+    soa.reg(kVLeaf, pid) = static_cast<Word>(next - lay.leaves);
+  }
+}
+
+void v_run_active(const WriteAllConfig& config, const VLayout& lay,
+                  const std::optional<Addr>& done_flag,
+                  const BatchContext& ctx, SoaStore& soa,
+                  std::span<const Pid> pids, Slot phi) {
+  const Word stamp = config.stamp;
+
+  if (phi == 0) {
+    for (const Pid pid : pids) {
+      soa.reg(kVNode, pid) = 1;
+      soa.reg(kVLo, pid) = 0;
+      soa.reg(kVHi, pid) = static_cast<Word>(lay.p);
+      soa.reg(kVLeaf, pid) = 0;
+    }
+  }
+
+  if (phi < lay.phase_alloc) {
+    const Slot k = phi;
+    const bool done_seen =
+        k == 0 && done_flag &&
+        payload_of(ctx.mem[*done_flag], stamp) != 0;
+    AllocMemo memo;
+    for (const Pid pid : pids) {
+      LaneEmit em(ctx, pid);
+      if (done_seen) {
+        em.halt();
+        continue;
+      }
+      v_alloc_lane(lay, done_flag, stamp, ctx.mem, soa, pid, em, k, memo);
+    }
+    return;
+  }
+
+  if (phi < lay.phase_alloc + lay.phase_work) {
+    // task == nullptr in batch mode, so every work cycle is the plain
+    // element write (task_cycles() == 0 collapses the micro-cycle split).
+    const Slot j = phi - lay.phase_alloc;
+    const Word cell = stamped(stamp, 1);
+    for (const Pid pid : pids) {
+      LaneEmit em(ctx, pid);
+      const Addr g =
+          static_cast<Addr>(soa.reg(kVLeaf, pid)) * lay.elems_per_leaf +
+          static_cast<Addr>(j);
+      if (g < lay.n) em.write(lay.x(g), cell);
+    }
+    return;
+  }
+
+  const Slot m = phi - lay.phase_alloc - lay.phase_work;
+  if (m == 0) {
+    const bool halt = lay.depth == 0;  // one-leaf tree: done immediately
+    const Word cell = stamped(stamp, 1);
+    for (const Pid pid : pids) {
+      LaneEmit em(ctx, pid);
+      em.write(lay.c(lay.leaf_node(static_cast<Addr>(soa.reg(kVLeaf, pid)))),
+               cell);
+      if (halt) {
+        if (done_flag) em.write(*done_flag, stamped(stamp, 1));
+        em.halt();
+      }
+    }
+    return;
+  }
+  for (const Pid pid : pids) {
+    LaneEmit em(ctx, pid);
+    const Addr leaf_node =
+        lay.leaf_node(static_cast<Addr>(soa.reg(kVLeaf, pid)));
+    const Addr v = leaf_node >> m;
+    const Word cl = payload_of(ctx.mem[lay.c(2 * v)], stamp);
+    const Word cr = payload_of(ctx.mem[lay.c(2 * v + 1)], stamp);
+    const Word sum = cl + cr;
+    em.write(lay.c(v), stamped(stamp, sum));
+    if (m == lay.phase_update - 1 &&
+        sum == static_cast<Word>(lay.leaves_real)) {
+      if (done_flag) em.write(*done_flag, stamped(stamp, 1));
+      em.halt();
+    }
+  }
+}
+
+// The variable part of a V state's checkpoint stream (between the
+// start-slot/stride prefix and the empty-scratch suffix).
+void v_save_regs(const SoaStore& soa, Pid pid, WordWriter& w) {
+  w.put_bool(soa.ctrl(pid) == kWaiting);
+  w.put_u64(static_cast<std::uint64_t>(soa.reg(kVNode, pid)));
+  w.put_u64(static_cast<std::uint64_t>(soa.reg(kVLo, pid)));
+  w.put_u64(static_cast<std::uint64_t>(soa.reg(kVHi, pid)));
+  w.put_u64(static_cast<std::uint64_t>(soa.reg(kVLeaf, pid)));
+}
+
+void v_load_regs(SoaStore& soa, Pid pid, WordReader& r) {
+  soa.set_ctrl(pid, r.get_bool() ? kWaiting : kActive);
+  soa.reg(kVNode, pid) = static_cast<Word>(r.get_u64());
+  soa.reg(kVLo, pid) = static_cast<Word>(r.get_u64());
+  soa.reg(kVHi, pid) = static_cast<Word>(r.get_u64());
+  soa.reg(kVLeaf, pid) = static_cast<Word>(r.get_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm W kernel.
+
+class WBatchKernel final : public BatchKernel {
+ public:
+  // W runs stamp 0 only (enforced by AlgW's constructor), so the kernel
+  // needs no config beyond the layout.
+  WBatchKernel(const WriteAllConfig& /*config*/, const WLayout& layout)
+      : layout_(layout) {}
+
+  std::size_t registers() const override { return 6; }
+  std::uint32_t control_states() const override { return 2; }
+
+  void boot_lane(SoaStore& soa, Pid pid) const override {
+    soa.set_ctrl(pid, kWaiting);
+    soa.reg(kRank, pid) = 0;
+    soa.reg(kLive, pid) = 0;
+    soa.reg(kNode, pid) = 1;
+    soa.reg(kLo, pid) = 0;
+    soa.reg(kHi, pid) = 0;
+    soa.reg(kLeaf, pid) = 0;
+  }
+
+  void run(std::uint32_t ctrl, std::span<const Pid> pids,
+           const BatchContext& ctx, SoaStore& soa) const override {
+    const VLayout& pr = layout_.progress;
+    const Slot phi = ctx.slot % layout_.iteration;
+    const Word iter = static_cast<Word>(ctx.slot / layout_.iteration) + 1;
+
+    if (ctrl == kWaiting) {
+      if (phi != 0) {
+        const bool finished = payload_of(ctx.mem[pr.c(1)], 0) ==
+                              static_cast<Word>(pr.leaves_real);
+        const bool join = phi == layout_.iteration - 1;
+        for (const Pid pid : pids) {
+          LaneEmit em(ctx, pid);
+          if (finished) {
+            em.halt();
+          } else if (join) {
+            soa.set_ctrl(pid, kActive);
+          }
+        }
+        return;
+      }
+      // Booted exactly at an iteration boundary: join and run the active
+      // body below, as the interpreter's fall-through does.
+      for (const Pid pid : pids) soa.set_ctrl(pid, kActive);
+    }
+
+    if (phi < layout_.phase_count) {
+      count_group(pids, ctx, soa, phi, iter);
+      return;
+    }
+    Slot rest = phi - layout_.phase_count;
+    if (rest < pr.phase_alloc) {
+      AllocMemo memo;
+      for (const Pid pid : pids) {
+        LaneEmit em(ctx, pid);
+        alloc_lane(ctx.mem, soa, pid, em, rest, memo);
+      }
+      return;
+    }
+    rest -= pr.phase_alloc;
+    if (rest < pr.phase_work) {
+      const Word cell = stamped(0, 1);
+      for (const Pid pid : pids) {
+        LaneEmit em(ctx, pid);
+        const Addr g =
+            static_cast<Addr>(soa.reg(kLeaf, pid)) * pr.elems_per_leaf +
+            static_cast<Addr>(rest);
+        if (g < pr.n) em.write(pr.x(g), cell);
+      }
+      return;
+    }
+    update_group(pids, ctx, soa, rest - pr.phase_work);
+  }
+
+  void save_lane(const SoaStore& soa, Pid pid,
+                 std::vector<Word>& out) const override {
+    WordWriter w(out);
+    w.put_bool(soa.ctrl(pid) == kWaiting);
+    w.put_u64(static_cast<std::uint64_t>(soa.reg(kRank, pid)));
+    w.put_u64(static_cast<std::uint64_t>(soa.reg(kLive, pid)));
+    w.put_u64(static_cast<std::uint64_t>(soa.reg(kNode, pid)));
+    w.put_u64(static_cast<std::uint64_t>(soa.reg(kLo, pid)));
+    w.put_u64(static_cast<std::uint64_t>(soa.reg(kHi, pid)));
+    w.put_u64(static_cast<std::uint64_t>(soa.reg(kLeaf, pid)));
+  }
+
+  void load_lane(SoaStore& soa, Pid pid,
+                 std::span<const Word> data) const override {
+    WordReader r(data);
+    soa.set_ctrl(pid, r.get_bool() ? kWaiting : kActive);
+    soa.reg(kRank, pid) = static_cast<Word>(r.get_u64());
+    soa.reg(kLive, pid) = static_cast<Word>(r.get_u64());
+    soa.reg(kNode, pid) = static_cast<Word>(r.get_u64());
+    soa.reg(kLo, pid) = static_cast<Word>(r.get_u64());
+    soa.reg(kHi, pid) = static_cast<Word>(r.get_u64());
+    soa.reg(kLeaf, pid) = static_cast<Word>(r.get_u64());
+    if (!r.exhausted()) {
+      throw ConfigError("trailing words in a W checkpoint state");
+    }
+  }
+
+ private:
+  enum : std::size_t { kRank = 0, kLive, kNode, kLo, kHi, kLeaf };
+
+  void count_group(std::span<const Pid> pids, const BatchContext& ctx,
+                   SoaStore& soa, Slot j, Word iter) const {
+    if (j == 0) {
+      // Present ourselves in the counting tree; phi == 0 also resets the
+      // per-iteration context, as the interpreter does before dispatch.
+      const Word cell = stamped(iter, 1);
+      for (const Pid pid : pids) {
+        LaneEmit em(ctx, pid);
+        soa.reg(kRank, pid) = 0;
+        soa.reg(kLive, pid) = 0;
+        soa.reg(kNode, pid) = 1;
+        soa.reg(kLeaf, pid) = 0;
+        em.write(layout_.cnt(layout_.cnt_leaf(pid)), cell);
+      }
+      return;
+    }
+    if (j <= layout_.p_depth) {
+      for (const Pid pid : pids) {
+        LaneEmit em(ctx, pid);
+        const Addr my_prev = layout_.cnt_leaf(pid) >> (j - 1);
+        const Addr v = my_prev / 2;
+        const Word cl = payload_of(ctx.mem[layout_.cnt(2 * v)], iter);
+        const Word cr = payload_of(ctx.mem[layout_.cnt(2 * v + 1)], iter);
+        em.write(layout_.cnt(v), stamped(iter, cl + cr));
+        if (my_prev % 2 == 1) soa.reg(kRank, pid) += cl;
+      }
+      return;
+    }
+    // Final counting cycle: the live total is one uniform cell.
+    const Word live = payload_of(ctx.mem[layout_.cnt(1)], iter);
+    RFSP_CHECK_MSG(live >= 1, "counting tree lost the current processor");
+    for (const Pid pid : pids) {
+      LaneEmit em(ctx, pid);
+      soa.reg(kLive, pid) = live;
+      soa.reg(kLo, pid) = 0;
+      soa.reg(kHi, pid) = live;
+    }
+  }
+
+  void alloc_lane(std::span<const Word> mem, SoaStore& soa, Pid pid,
+                  LaneEmit& em, Slot k, AllocMemo& memo) const {
+    const VLayout& pr = layout_.progress;
+    const Addr node = static_cast<Addr>(soa.reg(kNode, pid));
+    const Addr left = 2 * node;
+    const Addr right = 2 * node + 1;
+    const Pid lo = static_cast<Pid>(soa.reg(kLo, pid));
+    const Pid hi = static_cast<Pid>(soa.reg(kHi, pid));
+    if (node != memo.node || lo != memo.lo || hi != memo.hi) {
+      const Word cl = payload_of(mem[pr.c(left)], 0);
+      const Word cr = payload_of(mem[pr.c(right)], 0);
+      const Addr rl = pr.real_leaves_below(left);
+      const Addr rr = pr.real_leaves_below(right);
+      const Addr ul = rl - std::min<Addr>(rl, static_cast<Addr>(cl));
+      const Addr ur = rr - std::min<Addr>(rr, static_cast<Addr>(cr));
+      const Addr u = ul + ur;
+      const Pid nl =
+          u == 0 ? 0
+                 : static_cast<Pid>(
+                       (static_cast<std::uint64_t>(hi - lo) * ul) / u);
+      memo = {node, lo, hi, u, rl, nl};
+    }
+
+    if (memo.u == 0) {
+      if (node == 1) {
+        em.write(pr.c(1), stamped(0, static_cast<Word>(pr.leaves_real)));
+        em.halt();
+        return;
+      }
+      const Addr next = memo.rl > 0 ? left : right;
+      soa.reg(kNode, pid) = static_cast<Word>(next);
+      if (k + 1 == pr.phase_alloc) {
+        soa.reg(kLeaf, pid) = static_cast<Word>(next - pr.leaves);
+      }
+      return;
+    }
+
+    // Allocation by rank within the enumerated-live interval [lo, hi).
+    Addr next;
+    if (static_cast<Pid>(soa.reg(kRank, pid)) < lo + memo.nl) {
+      next = left;
+      soa.reg(kHi, pid) = lo + memo.nl;
+    } else {
+      next = right;
+      soa.reg(kLo, pid) = lo + memo.nl;
+    }
+    soa.reg(kNode, pid) = static_cast<Word>(next);
+    if (k + 1 == pr.phase_alloc) {
+      soa.reg(kLeaf, pid) = static_cast<Word>(next - pr.leaves);
+    }
+  }
+
+  void update_group(std::span<const Pid> pids, const BatchContext& ctx,
+                    SoaStore& soa, Slot m) const {
+    const VLayout& pr = layout_.progress;
+    if (m == 0) {
+      const bool halt = pr.depth == 0;  // one-leaf tree: done immediately
+      const Word cell = stamped(0, 1);
+      for (const Pid pid : pids) {
+        LaneEmit em(ctx, pid);
+        em.write(pr.c(pr.leaf_node(static_cast<Addr>(soa.reg(kLeaf, pid)))),
+                 cell);
+        if (halt) em.halt();
+      }
+      return;
+    }
+    for (const Pid pid : pids) {
+      LaneEmit em(ctx, pid);
+      const Addr leaf_node =
+          pr.leaf_node(static_cast<Addr>(soa.reg(kLeaf, pid)));
+      const Addr v = leaf_node >> m;
+      const Word cl = payload_of(ctx.mem[pr.c(2 * v)], 0);
+      const Word cr = payload_of(ctx.mem[pr.c(2 * v + 1)], 0);
+      const Word sum = cl + cr;
+      em.write(pr.c(v), stamped(0, sum));
+      if (m == pr.phase_update - 1 &&
+          sum == static_cast<Word>(pr.leaves_real)) {
+        em.halt();
+      }
+    }
+  }
+
+  const WLayout& layout_;
+};
+
+// ---------------------------------------------------------------------------
+// Algorithm V kernel (standalone: stride-1 clock, no done flag).
+
+class VBatchKernel final : public BatchKernel {
+ public:
+  VBatchKernel(const WriteAllConfig& config, const VLayout& layout)
+      : config_(config), layout_(layout) {}
+
+  std::size_t registers() const override { return 4; }
+  std::uint32_t control_states() const override { return 2; }
+
+  void boot_lane(SoaStore& soa, Pid pid) const override {
+    v_boot_lane(soa, pid);
+  }
+
+  void run(std::uint32_t ctrl, std::span<const Pid> pids,
+           const BatchContext& ctx, SoaStore& soa) const override {
+    const Slot phi = ctx.slot % layout_.iteration;
+    if (ctrl == kWaiting) {
+      if (phi != 0) {
+        v_run_waiting(config_, layout_, std::nullopt, ctx, soa, pids, phi);
+        return;
+      }
+      for (const Pid pid : pids) soa.set_ctrl(pid, kActive);
+    }
+    v_run_active(config_, layout_, std::nullopt, ctx, soa, pids, phi);
+  }
+
+  void save_lane(const SoaStore& soa, Pid pid,
+                 std::vector<Word>& out) const override {
+    WordWriter w(out);
+    w.put_u64(0);  // start_slot_
+    w.put_u64(1);  // stride_
+    v_save_regs(soa, pid, w);
+    w.put_u64(0);  // scratch_ (empty span; no TaskSpec in batch mode)
+  }
+
+  void load_lane(SoaStore& soa, Pid pid,
+                 std::span<const Word> data) const override {
+    WordReader r(data);
+    expect_word(r, 0, "V start slot");
+    expect_word(r, 1, "V clock stride");
+    v_load_regs(soa, pid, r);
+    expect_word(r, 0, "V scratch size");
+    if (!r.exhausted()) {
+      throw ConfigError("trailing words in a V checkpoint state");
+    }
+  }
+
+ private:
+  const WriteAllConfig& config_;
+  const VLayout& layout_;
+};
+
+// ---------------------------------------------------------------------------
+// Algorithm X kernel (PID-bit descent; no private registers at all).
+
+class XBatchKernel final : public BatchKernel {
+ public:
+  XBatchKernel(const WriteAllConfig& config, const XLayout& layout)
+      : config_(config), layout_(layout) {}
+
+  std::size_t registers() const override { return 0; }
+  std::uint32_t control_states() const override { return 1; }
+
+  void boot_lane(SoaStore& soa, Pid pid) const override {
+    soa.set_ctrl(pid, 0);
+  }
+
+  void run(std::uint32_t /*ctrl*/, std::span<const Pid> pids,
+           const BatchContext& ctx, SoaStore& /*soa*/) const override {
+    for (const Pid pid : pids) {
+      LaneEmit em(ctx, pid);
+      x_navigate_lane(config_, layout_, std::nullopt, ctx.mem, pid, em);
+    }
+  }
+
+  void save_lane(const SoaStore& /*soa*/, Pid /*pid*/,
+                 std::vector<Word>& out) const override {
+    WordWriter w(out);
+    x_save_words(w);
+  }
+
+  void load_lane(SoaStore& /*soa*/, Pid /*pid*/,
+                 std::span<const Word> data) const override {
+    WordReader r(data);
+    x_load_words(r);
+    if (!r.exhausted()) {
+      throw ConfigError("trailing words in an X checkpoint state");
+    }
+  }
+
+ private:
+  const WriteAllConfig& config_;
+  const XLayout& layout_;
+};
+
+// ---------------------------------------------------------------------------
+// Combined V+X kernel: even slots run V on the stride-2 virtual clock, odd
+// slots run X; both halves share the done flag. Only the V half carries
+// private registers, so the combined lane state is V's registers plus the
+// waiting tag (the X half is memoryless across cycles).
+
+class VxBatchKernel final : public BatchKernel {
+ public:
+  VxBatchKernel(const WriteAllConfig& config, const CombinedLayout& layout)
+      : config_(config), layout_(layout) {}
+
+  std::size_t registers() const override { return 4; }
+  std::uint32_t control_states() const override { return 2; }
+
+  void boot_lane(SoaStore& soa, Pid pid) const override {
+    v_boot_lane(soa, pid);
+  }
+
+  void run(std::uint32_t ctrl, std::span<const Pid> pids,
+           const BatchContext& ctx, SoaStore& soa) const override {
+    if (ctx.slot % 2 != 0) {
+      // X half; the V waiting tag is irrelevant on odd slots.
+      for (const Pid pid : pids) {
+        LaneEmit em(ctx, pid);
+        x_navigate_lane(config_, layout_.x, layout_.done, ctx.mem, pid, em);
+      }
+      return;
+    }
+    const Slot phi = (ctx.slot / 2) % layout_.v.iteration;
+    if (ctrl == kWaiting) {
+      if (phi != 0) {
+        v_run_waiting(config_, layout_.v, layout_.done, ctx, soa, pids, phi);
+        return;
+      }
+      for (const Pid pid : pids) soa.set_ctrl(pid, kActive);
+    }
+    v_run_active(config_, layout_.v, layout_.done, ctx, soa, pids, phi);
+  }
+
+  void save_lane(const SoaStore& soa, Pid pid,
+                 std::vector<Word>& out) const override {
+    WordWriter w(out);
+    w.put_u64(0);  // CombinedState start_slot_
+    w.put_u64(0);  // V start_slot_
+    w.put_u64(2);  // V clock stride
+    v_save_regs(soa, pid, w);
+    w.put_u64(0);  // V scratch_ (empty span)
+    x_save_words(w);
+  }
+
+  void load_lane(SoaStore& soa, Pid pid,
+                 std::span<const Word> data) const override {
+    WordReader r(data);
+    expect_word(r, 0, "combined start slot");
+    expect_word(r, 0, "V start slot");
+    expect_word(r, 2, "V clock stride");
+    v_load_regs(soa, pid, r);
+    expect_word(r, 0, "V scratch size");
+    x_load_words(r);
+    if (!r.exhausted()) {
+      throw ConfigError("trailing words in a VX checkpoint state");
+    }
+  }
+
+ private:
+  const WriteAllConfig& config_;
+  const CombinedLayout& layout_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factories and the Program::batch_kernels overrides.
+
+std::unique_ptr<BatchKernel> make_w_batch_kernel(const WriteAllConfig& config,
+                                                 const WLayout& layout) {
+  return std::make_unique<WBatchKernel>(config, layout);
+}
+
+std::unique_ptr<BatchKernel> make_v_batch_kernel(const WriteAllConfig& config,
+                                                 const VLayout& layout) {
+  return std::make_unique<VBatchKernel>(config, layout);
+}
+
+std::unique_ptr<BatchKernel> make_x_batch_kernel(const WriteAllConfig& config,
+                                                 const XLayout& layout) {
+  return std::make_unique<XBatchKernel>(config, layout);
+}
+
+std::unique_ptr<BatchKernel> make_vx_batch_kernel(
+    const WriteAllConfig& config, const CombinedLayout& layout) {
+  return std::make_unique<VxBatchKernel>(config, layout);
+}
+
+std::unique_ptr<BatchKernel> AlgW::batch_kernels() const {
+  // W is standalone-only (no TaskSpec, stamp 0 — enforced at construction),
+  // so its kernel is always available.
+  return make_w_batch_kernel(config_, layout_);
+}
+
+std::unique_ptr<BatchKernel> AlgV::batch_kernels() const {
+  if (config_.task != nullptr) return nullptr;
+  return make_v_batch_kernel(config_, layout_);
+}
+
+std::unique_ptr<BatchKernel> AlgX::batch_kernels() const {
+  if (config_.task != nullptr) return nullptr;
+  return make_x_batch_kernel(config_, layout_);
+}
+
+std::unique_ptr<BatchKernel> CombinedVX::batch_kernels() const {
+  if (config_.task != nullptr) return nullptr;
+  return make_vx_batch_kernel(config_, layout_);
+}
+
+}  // namespace rfsp

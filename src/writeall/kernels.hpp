@@ -1,0 +1,51 @@
+// Batched cycle kernels for the Write-All algorithms (pram/soa.hpp).
+//
+// Each factory compiles one algorithm's update-cycle bodies into a
+// BatchKernel: the same reads, the same buffered writes in the same program
+// order, the same halting decisions, and checkpoint word streams
+// byte-identical to the interpreter states' save_state/load_state — so a
+// batched engine run is bit-for-bit indistinguishable from an interpreter
+// run (same WorkTally, trace stream, and checkpoints).
+//
+// The combined algorithm reuses X's navigate body on odd slots and V's
+// three-phase body on the even-slot virtual clock, exactly like
+// CombinedState does; V and VX therefore share one lane implementation.
+//
+// The factories are reached through the Program::batch_kernels overrides of
+// AlgW / AlgV / AlgX / CombinedVX (defined in kernels.cpp). Programs with a
+// TaskSpec return no kernel — task micro-cycles need the per-op
+// CycleContext, so the engine keeps the interpreter for them.
+#pragma once
+
+#include <memory>
+
+#include "pram/soa.hpp"
+
+namespace rfsp {
+
+struct WriteAllConfig;
+struct WLayout;
+struct VLayout;
+struct XLayout;
+struct CombinedLayout;
+
+// Algorithm W (count / alloc / work / update). W is standalone-only
+// (no TaskSpec, stamp 0 — enforced by AlgW's constructor).
+std::unique_ptr<BatchKernel> make_w_batch_kernel(const WriteAllConfig& config,
+                                                 const WLayout& layout);
+
+// Algorithm V (alloc / work / update on a stride-1 clock). Requires
+// config.task == nullptr.
+std::unique_ptr<BatchKernel> make_v_batch_kernel(const WriteAllConfig& config,
+                                                 const VLayout& layout);
+
+// Algorithm X (PID-bit descent). Requires config.task == nullptr.
+std::unique_ptr<BatchKernel> make_x_batch_kernel(const WriteAllConfig& config,
+                                                 const XLayout& layout);
+
+// Combined V+X interleave (even slots V at stride 2, odd slots X; shared
+// done flag). Requires config.task == nullptr.
+std::unique_ptr<BatchKernel> make_vx_batch_kernel(const WriteAllConfig& config,
+                                                  const CombinedLayout& layout);
+
+}  // namespace rfsp
