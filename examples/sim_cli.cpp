@@ -20,6 +20,7 @@
 
 #include "analysis/oblivious.hpp"
 #include "fault/adversaries.hpp"
+#include "obs/binary_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "programs/chain.hpp"
@@ -54,8 +55,11 @@ using namespace rfsp;
                "  --checkpoint F  save engine checkpoints to F (JSON)\n"
                "  --checkpoint-every K  checkpoint cadence in slots\n"
                "  --resume F      restore a checkpoint and continue\n"
-               "  --trace-out F   stream engine events to F (JSONL, or CSV\n"
-               "                  when F ends in .csv)\n"
+               "  --trace-out F   stream engine events to F (format from the\n"
+               "                  extension: .csv -> csv, .bin/.rft -> binary,\n"
+               "                  else JSONL)\n"
+               "  --trace-format F  force the --trace-out encoding:\n"
+               "                  jsonl|binary|csv\n"
                "  --metrics-out F save the run's metrics registry as JSON\n"
                "  --audit 1       run the model-conformance auditor on the\n"
                "                  physical machine; exit 6 on findings\n"
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
   const Slot checkpoint_every = std::stoull(take("checkpoint-every", "0"));
   const std::string resume_file = take("resume", "");
   const std::string trace_out = take("trace-out", "");
+  const std::string trace_format = take("trace-format", "");
   const std::string metrics_out = take("metrics-out", "");
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
@@ -215,15 +220,11 @@ int main(int argc, char** argv) {
     std::ofstream event_os;
     std::unique_ptr<TraceSink> sink;
     if (!trace_out.empty()) {
-      event_os.open(trace_out);
+      event_os.open(trace_out, std::ios::binary);
       if (!event_os) usage("cannot write " + trace_out);
-      const bool csv = trace_out.size() >= 4 &&
-                       trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
-      if (csv) {
-        sink = std::make_unique<CsvTraceSink>(event_os);
-      } else {
-        sink = std::make_unique<JsonlTraceSink>(event_os);
-      }
+      sink = make_trace_sink(event_os, trace_format.empty()
+                                           ? trace_format_for_path(trace_out)
+                                           : trace_format);
     }
     MetricsRegistry metrics;
 

@@ -40,6 +40,7 @@
 #include "fault/halving.hpp"
 #include "fault/iteration_killer.hpp"
 #include "fault/stalkers.hpp"
+#include "obs/binary_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "replay/checkpoint.hpp"
@@ -86,8 +87,12 @@ using namespace rfsp;
       "  --shrink-out FILE  on a violation, minimize the recorded schedule\n"
       "                     and save the reproducer (needs --record)\n"
       "  --trace FILE       save the per-slot trace as CSV\n"
-      "  --trace-out FILE   stream engine events to FILE (JSONL, or CSV\n"
-      "                     when FILE ends in .csv)\n"
+      "  --trace-out FILE   stream engine events to FILE (format from the\n"
+      "                     extension: .csv -> csv, .bin/.rft -> binary,\n"
+      "                     else JSONL; see --trace-format)\n"
+      "  --trace-format F   force the --trace-out encoding:\n"
+      "                     jsonl|binary|csv (binary is the compact\n"
+      "                     transport trace_cli reads and converts)\n"
       "  --metrics-out FILE save the run's metrics registry as JSON\n"
       "  --phases 1         print the per-phase work breakdown\n"
       "  --batch 1          batched SoA backend for ported algorithms\n"
@@ -182,6 +187,7 @@ int main(int argc, char** argv) {
   const std::string shrink_out = take("shrink-out", "");
   const std::string trace_file = take("trace", "");
   const std::string trace_out = take("trace-out", "");
+  const std::string trace_format = take("trace-format", "");
   const std::string metrics_out = take("metrics-out", "");
   const bool show_phases = take("phases", "0") != "0";
   const bool batch_on = take("batch", "0") != "0";
@@ -325,15 +331,11 @@ int main(int argc, char** argv) {
     std::ofstream event_os;
     std::unique_ptr<TraceSink> sink;
     if (!trace_out.empty()) {
-      event_os.open(trace_out);
+      event_os.open(trace_out, std::ios::binary);
       if (!event_os) usage("cannot write " + trace_out);
-      const bool csv = trace_out.size() >= 4 &&
-                       trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
-      if (csv) {
-        sink = std::make_unique<CsvTraceSink>(event_os);
-      } else {
-        sink = std::make_unique<JsonlTraceSink>(event_os);
-      }
+      sink = make_trace_sink(event_os, trace_format.empty()
+                                           ? trace_format_for_path(trace_out)
+                                           : trace_format);
       options.sink = sink.get();
     }
     MetricsRegistry metrics;

@@ -50,6 +50,35 @@ for algo in W V X VX; do
   done
 done
 
+# Trace bit-identity across modes: the same run traced through the binary
+# sink must produce byte-identical streams from the interpreter and the
+# batched backend, and the stream must pass trace_cli's invariant audit.
+# (Smaller than the tally rows above — the trace gate is about identity,
+# not scale.)
+trace_cli="$build_dir/examples/trace_cli"
+if [ -x "$trace_cli" ]; then
+  trace_dir=$(mktemp -d)
+  trap 'rm -rf "$trace_dir"' EXIT
+  for algo in W V X VX; do
+    for batch in 0 1; do
+      "$cli" --algo "$algo" --n 4096 --p 4096 --batch "$batch" \
+        --trace-out "$trace_dir/$algo-$batch.bin" >/dev/null
+    done
+    if ! cmp -s "$trace_dir/$algo-0.bin" "$trace_dir/$algo-1.bin"; then
+      echo "FAIL: $algo binary trace differs between interpreter and batch" >&2
+      "$trace_cli" check "$trace_dir/$algo-0.bin" "$trace_dir/$algo-1.bin" >&2 || true
+      status=1
+    elif ! "$trace_cli" check "$trace_dir/$algo-0.bin" >/dev/null; then
+      echo "FAIL: $algo trace violates stream invariants" >&2
+      "$trace_cli" check "$trace_dir/$algo-0.bin" >&2 || true
+      status=1
+    fi
+  done
+  [ "$status" = 0 ] && echo "trace smoke OK: binary streams bit-identical across modes"
+else
+  echo "note: $trace_cli not built — skipping trace bit-identity check"
+fi
+
 if [ "$status" = 0 ]; then
   echo "batch smoke OK: all tallies identical across modes"
 fi

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Run every experiment bench (E1–E16) with --benchmark_format=json and
+# Run every experiment bench (E1–E18) with --benchmark_format=json and
 # aggregate the results into BENCH_<tag>.json, one point of the perf
 # trajectory the ROADMAP tracks PR over PR.
 #
@@ -35,7 +35,7 @@ done
 
 build_dir=${positional[0]:-build}
 out_dir=${positional[1]:-"$build_dir/bench-results"}
-tag=${positional[2]:-${RFSP_BENCH_TAG:-PR6}}
+tag=${positional[2]:-${RFSP_BENCH_TAG:-PR7}}
 
 aggregate_out="$out_dir/BENCH_${tag}.json"
 if [ -e "$aggregate_out" ] && [ "$force" != 1 ]; then
@@ -106,6 +106,10 @@ aggregate = {
     "tag": tag,
     "note": "Fresh run of every bench binary; see BENCH_PR1.json at the "
             "repo root for the checked-in before/after engine comparison.",
+    # The trace transport the E18 sink-overhead rows measured against, so a
+    # future wire-format bump shows up in the trajectory metadata (the
+    # format spec lives in docs/observability.md).
+    "trace_format": "rfsp-trace-binary v1 / jsonl",
     "runs": runs,
 }
 out = out_dir / f"BENCH_{tag}.json"

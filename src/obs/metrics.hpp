@@ -102,6 +102,12 @@ class MetricsRegistry {
   // Histograms export count/sum/max/mean plus the non-empty buckets as
   // [bucket_index, count] pairs (see Histogram::bucket_of for the index ->
   // value-range mapping).
+  //
+  // Emission order is guaranteed stable: within each section, keys appear
+  // in lexicographic order regardless of registration order (the node maps
+  // above are ordered), so two snapshots of equal registries are
+  // byte-identical and snapshot diffs work as regression artifacts
+  // (tests/obs_test.cpp asserts the determinism).
   void write_json(std::ostream& out) const;
 
  private:

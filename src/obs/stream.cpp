@@ -1,0 +1,190 @@
+#include "obs/stream.hpp"
+
+#include <algorithm>
+
+namespace rfsp {
+
+namespace {
+
+// The within-slot ordering contract of obs/trace.hpp, as a comparable rank.
+int rank_of(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPhase: return 0;
+    case TraceEventKind::kSlot: return 1;
+    case TraceEventKind::kCommit: return 2;
+    case TraceEventKind::kFailure: return 3;
+    case TraceEventKind::kRestart: return 4;
+    case TraceEventKind::kHalt: return 5;
+    case TraceEventKind::kRunEnd: return 6;
+  }
+  return 7;
+}
+
+}  // namespace
+
+StreamAggregator::StreamAggregator(std::size_t window_slots)
+    : window_(std::max<std::size_t>(window_slots, 1)) {}
+
+void StreamAggregator::on_event(const TraceEvent& e) {
+  // Ordering contract, checked online so the first offender is exact.
+  if (events_ > 0 && order_error_.empty()) {
+    if (e.slot < last_slot_) {
+      order_error_ = "slot regression: event " + std::to_string(events_) +
+                     " at slot " + std::to_string(e.slot) + " after slot " +
+                     std::to_string(last_slot_);
+    } else if (e.slot == last_slot_ && rank_of(e.kind) < last_rank_) {
+      order_error_ = "within-slot order violation at slot " +
+                     std::to_string(e.slot) + ": " +
+                     std::string(to_string(e.kind)) + " after a later kind";
+    }
+  }
+  if (run_ended_) events_after_run_end_ = true;
+  last_slot_ = e.slot;
+  last_rank_ = rank_of(e.kind);
+  ++events_;
+
+  switch (e.kind) {
+    case TraceEventKind::kSlot: {
+      tally_.completed_work += e.completed;
+      tally_.attempted_work += e.started;
+      tally_.failures += e.failures;
+      tally_.restarts += e.restarts;
+      tally_.slots += 1;
+      tally_.peak_live = std::max<std::uint64_t>(tally_.peak_live, e.started);
+      if (current_phase_ != kNoPhase) {
+        PhaseWork& work = phases_[current_phase_];
+        work.completed_work += e.completed;
+        work.attempted_work += e.started;
+        work.failures += e.failures;
+        work.restarts += e.restarts;
+        work.slots += 1;
+      }
+      WindowSlot& cell = window_[window_pos_];
+      if (window_filled_ == window_.size()) {
+        window_started_ -= cell.started;
+        window_completed_ -= cell.completed;
+        window_failures_ -= cell.failures;
+        window_restarts_ -= cell.restarts;
+      } else {
+        ++window_filled_;
+      }
+      cell = {e.started, e.completed, e.failures, e.restarts};
+      window_started_ += e.started;
+      window_completed_ += e.completed;
+      window_failures_ += e.failures;
+      window_restarts_ += e.restarts;
+      window_pos_ = (window_pos_ + 1) % window_.size();
+      break;
+    }
+    case TraceEventKind::kCommit:
+      commit_writes_ += e.writes;
+      ++commit_events_;
+      break;
+    case TraceEventKind::kFailure:
+      ++event_failures_;
+      break;
+    case TraceEventKind::kRestart:
+      ++event_restarts_;
+      break;
+    case TraceEventKind::kHalt:
+      tally_.halted += 1;
+      break;
+    case TraceEventKind::kPhase:
+      if (e.phase >= phases_.size()) phases_.resize(e.phase + 1);
+      if (phases_[e.phase].name.empty()) {
+        phases_[e.phase].name = std::string(e.phase_name);
+      }
+      current_phase_ = e.phase;
+      break;
+    case TraceEventKind::kRunEnd:
+      run_ended_ = true;
+      goal_met_ = e.goal_met;
+      deadlock_ = e.deadlock;
+      slot_limit_ = e.slot_limit;
+      run_end_slot_ = e.slot;
+      ++run_end_events_;
+      break;
+  }
+}
+
+double StreamAggregator::window_throughput() const {
+  return window_filled_ == 0 ? 0.0
+                             : static_cast<double>(window_completed_) /
+                                   static_cast<double>(window_filled_);
+}
+
+double StreamAggregator::window_failure_rate() const {
+  return window_filled_ == 0 ? 0.0
+                             : static_cast<double>(window_failures_) /
+                                   static_cast<double>(window_filled_);
+}
+
+double StreamAggregator::window_restart_rate() const {
+  return window_filled_ == 0 ? 0.0
+                             : static_cast<double>(window_restarts_) /
+                                   static_cast<double>(window_filled_);
+}
+
+double StreamAggregator::window_live_mean() const {
+  return window_filled_ == 0 ? 0.0
+                             : static_cast<double>(window_started_) /
+                                   static_cast<double>(window_filled_);
+}
+
+std::vector<std::string> StreamAggregator::check() const {
+  std::vector<std::string> violations;
+  if (!order_error_.empty()) violations.push_back(order_error_);
+  if (event_failures_ != tally_.failures) {
+    violations.push_back(
+        "failure events (" + std::to_string(event_failures_) +
+        ") disagree with the slot summaries' failure total (" +
+        std::to_string(tally_.failures) + ")");
+  }
+  if (event_restarts_ != tally_.restarts) {
+    violations.push_back(
+        "restart events (" + std::to_string(event_restarts_) +
+        ") disagree with the slot summaries' restart total (" +
+        std::to_string(tally_.restarts) + ")");
+  }
+  if (commit_events_ != tally_.slots) {
+    violations.push_back("commit events (" + std::to_string(commit_events_) +
+                         ") do not pair one-to-one with slot events (" +
+                         std::to_string(tally_.slots) + ")");
+  }
+  if (!run_ended_) {
+    violations.push_back("no run_end event: the stream is incomplete");
+  } else {
+    if (run_end_events_ > 1) {
+      violations.push_back("multiple run_end events");
+    }
+    if (events_after_run_end_) {
+      violations.push_back("events after run_end");
+    }
+    if (run_end_slot_ != tally_.slots) {
+      violations.push_back("run_end slot (" + std::to_string(run_end_slot_) +
+                           ") disagrees with the slot-event count (" +
+                           std::to_string(tally_.slots) + ")");
+    }
+  }
+  if (!phases_.empty()) {
+    PhaseWork sum;
+    for (const PhaseWork& phase : phases_) {
+      sum.completed_work += phase.completed_work;
+      sum.attempted_work += phase.attempted_work;
+      sum.failures += phase.failures;
+      sum.restarts += phase.restarts;
+      sum.slots += phase.slots;
+    }
+    if (sum.completed_work != tally_.completed_work ||
+        sum.attempted_work != tally_.attempted_work ||
+        sum.failures != tally_.failures || sum.restarts != tally_.restarts ||
+        sum.slots != tally_.slots) {
+      violations.push_back(
+          "per-phase sums do not add up to the run totals (a slot ran "
+          "before the first phase event, or the stream was spliced)");
+    }
+  }
+  return violations;
+}
+
+}  // namespace rfsp

@@ -1,7 +1,8 @@
 #include "obs/trace.hpp"
 
-#include <algorithm>
 #include <ostream>
+
+#include "obs/stream.hpp"
 
 namespace rfsp {
 
@@ -106,25 +107,9 @@ void CollectingTraceSink::on_event(const TraceEvent& event) {
 }
 
 WorkTally CollectingTraceSink::reconstruct_tally() const {
-  WorkTally t;
-  for (const TraceEvent& e : events_) {
-    switch (e.kind) {
-      case TraceEventKind::kSlot:
-        t.completed_work += e.completed;
-        t.attempted_work += e.started;
-        t.failures += e.failures;
-        t.restarts += e.restarts;
-        t.slots += 1;
-        t.peak_live = std::max<std::uint64_t>(t.peak_live, e.started);
-        break;
-      case TraceEventKind::kHalt:
-        t.halted += 1;
-        break;
-      default:
-        break;
-    }
-  }
-  return t;
+  StreamAggregator aggregator(/*window_slots=*/1);
+  for (const TraceEvent& e : events_) aggregator.on_event(e);
+  return aggregator.tally();
 }
 
 }  // namespace rfsp

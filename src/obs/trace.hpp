@@ -19,6 +19,10 @@
 //   Σ kSlot.started   == WorkTally::attempted_work   (S')
 //   #kFailure + #kRestart == WorkTally::pattern_size()  (|F|)
 //   #kHalt == WorkTally::halted,  #kSlot == WorkTally::slots.
+//
+// Transports: the JSONL/CSV sinks below are the text formats; the compact
+// binary encoding and its readers live in obs/binary_trace.hpp, and online
+// (unbuffered) aggregation over any of them in obs/stream.hpp.
 #pragma once
 
 #include <deque>
@@ -58,6 +62,10 @@ struct TraceEvent {
   bool goal_met = false;          // kRunEnd
   bool deadlock = false;          // kRunEnd
   bool slot_limit = false;        // kRunEnd
+
+  // Field-wise equality (phase_name by content) — the oracle of the
+  // binary/JSONL transport round-trip tests and `trace_cli check A B`.
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 // Receiver interface. on_event is called from the engine's slot loop (the
@@ -108,7 +116,9 @@ class CollectingTraceSink final : public TraceSink {
 
   // Re-derive the run's WorkTally from the event stream alone (the
   // reconstruction invariants in the file comment). peak_live comes from
-  // the max kSlot.started.
+  // the max kSlot.started. Delegates to StreamAggregator (obs/stream.hpp)
+  // — the one implementation of the reconstruction rules — by replaying
+  // the collected events through it.
   WorkTally reconstruct_tally() const;
 
  private:

@@ -187,6 +187,13 @@ struct EngineOptions {
   // loop on the PR 1 fast path: the instrumentation is compiled in but
   // costs one predicted null test per slot, and nothing is ever added to
   // the per-read/per-write paths. The sink must outlive the engine.
+  //
+  // The event stream is sink-independent: which transport is installed
+  // (JsonlTraceSink, BinaryTraceWriter, StreamAggregator, ...) changes
+  // only how events are encoded, never which events fire or their order,
+  // so traces of the same run in different formats are interconvertible
+  // bit-for-bit (obs/binary_trace.hpp) and identical across sequential,
+  // cycle_threads, and batch execution.
   TraceSink* sink = nullptr;
 
   // Metrics registry: the engine records live-processors-per-slot and

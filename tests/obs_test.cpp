@@ -81,6 +81,40 @@ TEST(MetricsRegistry, JsonSnapshot) {
   EXPECT_NE(json.find("[3, 1]"), std::string::npos);  // 5 lands in bucket 3
 }
 
+// Registration order must not leak into snapshots: equal registries built
+// in different orders emit byte-identical JSON (the stable-key-order
+// guarantee documented on MetricsRegistry::write_json — snapshot diffs are
+// regression artifacts, so any ordering noise would be a false diff).
+TEST(MetricsRegistry, JsonSnapshotIsOrderIndependent) {
+  MetricsRegistry forward;
+  forward.counter("a.runs").add(3);
+  forward.counter("z.errors").add(1);
+  forward.gauge("m.ratio").set(2.5);
+  forward.gauge("b.load").set(0.5);
+  forward.histogram("q.sizes").observe(5);
+  forward.histogram("c.waits").observe(9);
+
+  MetricsRegistry backward;
+  backward.histogram("c.waits").observe(9);
+  backward.histogram("q.sizes").observe(5);
+  backward.gauge("b.load").set(0.5);
+  backward.gauge("m.ratio").set(2.5);
+  backward.counter("z.errors").add(1);
+  backward.counter("a.runs").add(3);
+
+  std::ostringstream fwd_os;
+  std::ostringstream bwd_os;
+  forward.write_json(fwd_os);
+  backward.write_json(bwd_os);
+  EXPECT_EQ(fwd_os.str(), bwd_os.str());
+
+  // And the keys really are lexicographic within each section.
+  const std::string json = fwd_os.str();
+  EXPECT_LT(json.find("\"a.runs\""), json.find("\"z.errors\""));
+  EXPECT_LT(json.find("\"b.load\""), json.find("\"m.ratio\""));
+  EXPECT_LT(json.find("\"c.waits\""), json.find("\"q.sizes\""));
+}
+
 // ---------------------------------------------------------------------------
 // Engine event streams
 
