@@ -10,14 +10,40 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <span>
+#include <vector>
 
 #include "accounting/tally.hpp"
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace rfsp::bench {
+
+// Run fn() `warmup` un-timed times, then `k` timed times, and return the
+// median wall-clock seconds. Single-shot timings on a shared machine lie by
+// double-digit percentages run to run; the median of a small odd k is
+// stable without multiplying the suite's cost much, and the warmup run
+// pages in the shared-memory image so no measured run pays first-touch
+// faults. Feed the result to state.SetIterationTime under UseManualTime —
+// the exported real_time then IS the median, and every downstream consumer
+// (scripts/run_benches.sh, the JSON tables) keeps its row shape unchanged.
+template <typename Fn>
+double median_seconds(Fn&& fn, int k = 3, int warmup = 1) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const auto t0 = clock::now();
+    fn();
+    secs.push_back(std::chrono::duration<double>(clock::now() - t0).count());
+  }
+  std::sort(secs.begin(), secs.end());
+  return secs[secs.size() / 2];
+}
 
 // Attach the model metrics to a google-benchmark state.
 inline void report(benchmark::State& state, const WorkTally& tally,

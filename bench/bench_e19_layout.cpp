@@ -1,0 +1,140 @@
+// E19 — tree storage order (heap vs van Emde Boas) across backends
+// (DESIGN.md §4.10; docs/api.md §13).
+//
+// The storage order is model-invisible: every row pair below must produce
+// identical tallies under both orders (layout_test proves the general
+// statement; the report re-checks the pairs it times). What may change is
+// wall-clock time only, so rows report real time for {heap, veb} ×
+// {interp, batch} per algorithm.
+//
+// Rows: fault-free {W, V, X, VX} at N = P = 2^16 in all four
+// order × backend combinations, and the N = 2^24, P = 4096 batch headline
+// in both orders. Timings are the median of 5 runs after one warmup
+// (bench::median_seconds) for the 2^16 rows; the 2^24 rows are single-shot
+// with no warmup (the X/veb row alone runs tens of seconds — multiplying
+// that by four buys noise reduction the table then never uses).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+struct Row {
+  WriteAllAlgo algo;
+  Addr n;
+  Pid p;
+  TreeOrder order;
+  bool batch;
+};
+
+WriteAllOutcome run_row(const Row& row) {
+  NoFailures adversary;
+  EngineOptions options;
+  options.batch = row.batch;
+  return run_writeall(row.algo,
+                      {.n = row.n,
+                       .p = row.p,
+                       .seed = 1,
+                       .layout = {.tree_order = row.order}},
+                      adversary, options);
+}
+
+void BM_Layout(benchmark::State& state) {
+  const Row row{static_cast<WriteAllAlgo>(state.range(0)),
+                static_cast<Addr>(state.range(1)),
+                static_cast<Pid>(state.range(2)),
+                static_cast<TreeOrder>(state.range(3)),
+                state.range(4) != 0};
+  const bool big = row.n >= (Addr{1} << 24);
+  WriteAllOutcome out;
+  for (auto _ : state) {
+    const double secs = bench::median_seconds(
+        [&] {
+          out = run_row(row);
+          benchmark::DoNotOptimize(out.run.tally.completed_work);
+        },
+        big ? 1 : 5, big ? 0 : 1);
+    state.SetIterationTime(secs);
+  }
+  if (!out.solved) state.SkipWithError("postcondition failed");
+  bench::report(state, out.run.tally, row.n);
+  state.SetLabel(std::string(to_string(row.algo)) + "/" +
+                 std::string(to_string(row.order)) +
+                 (row.batch ? "/batch" : "/interp"));
+}
+
+const std::vector<WriteAllAlgo> kAlgos = {
+    WriteAllAlgo::kW, WriteAllAlgo::kV, WriteAllAlgo::kX,
+    WriteAllAlgo::kCombinedVX};
+
+void register_row(const Row& row) {
+  const std::string name =
+      "E19/" + std::string(to_string(row.algo)) + "/" +
+      std::string(to_string(row.order)) + (row.batch ? "/batch" : "/interp") +
+      "/n:" + std::to_string(row.n) + "/p:" + std::to_string(row.p);
+  benchmark::RegisterBenchmark(name.c_str(), BM_Layout)
+      ->Args({static_cast<long>(row.algo), static_cast<long>(row.n),
+              static_cast<long>(row.p), static_cast<long>(row.order),
+              row.batch ? 1 : 0})
+      ->Iterations(1)
+      ->UseManualTime();
+}
+
+void register_benches() {
+  for (WriteAllAlgo algo : kAlgos) {
+    for (const TreeOrder order : {TreeOrder::kHeap, TreeOrder::kVeb}) {
+      for (const bool batch : {false, true}) {
+        register_row({algo, Addr{1} << 16, Pid{1} << 16, order, batch});
+      }
+      register_row({algo, Addr{1} << 24, Pid{4096}, order, true});
+    }
+  }
+}
+
+// Human-readable summary: heap vs veb side by side per (algorithm,
+// backend) at N = P = 2^16, with the tally-equality gate that makes the
+// comparison meaningful. The 2^24 headline pairs live in the registered
+// rows (they are too slow to time twice).
+void print_report() {
+  Table table({"algorithm", "backend", "S", "heap ms", "veb ms", "veb/heap"});
+  for (WriteAllAlgo algo : kAlgos) {
+    for (const bool batch : {false, true}) {
+      Row row{algo, Addr{1} << 16, Pid{1} << 16, TreeOrder::kHeap, batch};
+      WriteAllOutcome heap_out, veb_out;
+      const double heap_ms =
+          1e3 * bench::median_seconds([&] { heap_out = run_row(row); });
+      row.order = TreeOrder::kVeb;
+      const double veb_ms =
+          1e3 * bench::median_seconds([&] { veb_out = run_row(row); });
+      if (!(heap_out.run.tally == veb_out.run.tally)) {
+        table.add_row({std::string(to_string(algo)),
+                       batch ? "batch" : "interp", "TALLY MISMATCH", "", "",
+                       ""});
+        continue;
+      }
+      table.add_row({std::string(to_string(algo)),
+                     batch ? "batch" : "interp",
+                     fmt_int(heap_out.run.tally.completed_work),
+                     fmt_fixed(heap_ms, 1), fmt_fixed(veb_ms, 1),
+                     fmt_fixed(veb_ms / heap_ms, 2)});
+    }
+  }
+  bench::print_table(
+      "E19: tree storage order, heap vs vEB (fault-free, N = P = 2^16)",
+      table);
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_report();
+  rfsp::register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

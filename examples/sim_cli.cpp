@@ -66,7 +66,9 @@ using namespace rfsp;
                "  --audit-out F   save the audit report as JSONL\n"
                "  --batch 1       request the batched SoA backend; the\n"
                "                  simulation program publishes no kernels yet\n"
-               "                  so the engine falls back to the interpreter\n";
+               "                  so the engine falls back to the interpreter\n"
+               "  --tree-order O  heap|veb storage order of the inner\n"
+               "                  Write-All trees (default heap)\n";
   std::exit(2);
 }
 
@@ -113,6 +115,7 @@ int main(int argc, char** argv) {
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
   const bool batch_on = take("batch", "0") != "0";
+  std::string tree_order_name = take("tree-order", "");
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
   if (checkpoint_every > 0 && checkpoint_file.empty()) {
     usage("--checkpoint-every needs --checkpoint FILE");
@@ -127,6 +130,38 @@ int main(int argc, char** argv) {
   if (inner_name == "X") inner = SimInner::kX;
   else if (inner_name == "V") inner = SimInner::kV;
   else if (inner_name != "VX") usage("unknown inner " + inner_name);
+
+  // Resume checkpoints load before the config is built: the memory image is
+  // layout-private, so the checkpoint's meta supplies the tree-order default
+  // and a contradicting flag is an error rather than a misread image.
+  EngineCheckpoint resume_cp;
+  const EngineCheckpoint* resume_ptr = nullptr;
+  if (!resume_file.empty()) {
+    try {
+      resume_cp = load_checkpoint(resume_file);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 5;
+    }
+    resume_ptr = &resume_cp;
+    if (const auto it = resume_cp.meta.find("tree_order");
+        it != resume_cp.meta.end()) {
+      if (tree_order_name.empty()) {
+        tree_order_name = it->second;
+      } else if (tree_order_name != it->second) {
+        usage("checkpoint was taken under --tree-order " + it->second +
+              "; its memory image resumes only under the same order");
+      }
+    }
+  }
+  if (tree_order_name.empty()) tree_order_name = "heap";
+
+  TreeOrder tree_order = TreeOrder::kHeap;
+  try {
+    tree_order = tree_order_from_string(tree_order_name);
+  } catch (const std::exception& e) {
+    usage(e.what());
+  }
 
   try {
     // Assemble the requested workload. `verifier` defaults to comparison
@@ -230,19 +265,18 @@ int main(int argc, char** argv) {
 
     SimOptions sim_options{.physical_processors = p, .inner = inner};
     sim_options.batch = batch_on;
+    sim_options.tree_order = tree_order;
     sim_options.sink = sink.get();
     if (!metrics_out.empty()) sim_options.metrics = &metrics;
     if (checkpoint_every > 0) {
       sim_options.checkpoint_every = checkpoint_every;
       sim_options.on_checkpoint = [&](const EngineCheckpoint& cp) {
-        save_checkpoint(cp, checkpoint_file);
+        EngineCheckpoint stamped_cp = cp;
+        stamped_cp.meta["tree_order"] = std::string(to_string(tree_order));
+        save_checkpoint(stamped_cp, checkpoint_file);
       };
     }
-    EngineCheckpoint resume_cp;
-    if (!resume_file.empty()) {
-      resume_cp = load_checkpoint(resume_file);
-      sim_options.resume = &resume_cp;
-    }
+    sim_options.resume = resume_ptr;
     SimResult r;
     AuditReport audit_report;
     if (audit_on) {

@@ -98,6 +98,11 @@ using namespace rfsp;
       "  --batch 1          batched SoA backend for ported algorithms\n"
       "                     (falls back to the interpreter under --audit,\n"
       "                     task programs, or per-op hooks; bit-identical)\n"
+      "  --tree-order O     heap|veb storage order for the progress and\n"
+      "                     allocation trees (default heap; model-invisible:\n"
+      "                     tallies/traces/patterns are identical; checkpoints\n"
+      "                     record their order — --resume restores it and\n"
+      "                     refuses a contradicting flag)\n"
       "  --cycle-threads K  parallel cycle execution with K workers (1)\n"
       "  --audit 1          run the model-conformance auditor (budgets,\n"
       "                     phase order, write agreement, amnesia twins,\n"
@@ -191,6 +196,8 @@ int main(int argc, char** argv) {
   const std::string metrics_out = take("metrics-out", "");
   const bool show_phases = take("phases", "0") != "0";
   const bool batch_on = take("batch", "0") != "0";
+  std::string tree_order_name =
+      take("tree-order", meta_or("tree_order", ""));
   const std::size_t cycle_threads = std::stoull(take("cycle-threads", "1"));
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
@@ -211,11 +218,44 @@ int main(int argc, char** argv) {
     usage("--shrink-out needs --record");
   }
 
+  // Resume checkpoints load before the config is built: the memory image
+  // silently depends on config the flags may not repeat (the tree order is
+  // layout-private), so the checkpoint's meta supplies the default and a
+  // contradicting flag is an error rather than a misread image.
+  EngineCheckpoint resume_cp;
+  const EngineCheckpoint* resume_ptr = nullptr;
+  if (!resume_file.empty()) {
+    try {
+      resume_cp = load_checkpoint(resume_file);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 5;
+    }
+    resume_ptr = &resume_cp;
+    if (const auto it = resume_cp.meta.find("tree_order");
+        it != resume_cp.meta.end()) {
+      if (tree_order_name.empty()) {
+        tree_order_name = it->second;
+      } else if (tree_order_name != it->second) {
+        usage("checkpoint was taken under --tree-order " + it->second +
+              "; its memory image resumes only under the same order");
+      }
+    }
+  }
+  if (tree_order_name.empty()) tree_order_name = "heap";
+
   const auto algos = algo_names();
   const auto algo_it = algos.find(algo_name);
   if (algo_it == algos.end()) usage("unknown algorithm " + algo_name);
   const WriteAllAlgo algo = algo_it->second;
-  const WriteAllConfig config{.n = n, .p = p, .seed = seed};
+  TreeOrder tree_order = TreeOrder::kHeap;
+  try {
+    tree_order = tree_order_from_string(tree_order_name);
+  } catch (const std::exception& e) {
+    usage(e.what());
+  }
+  const WriteAllConfig config{
+      .n = n, .p = p, .seed = seed, .layout = {.tree_order = tree_order}};
 
   // The stalkers need the X-family layout; derive it where applicable.
   std::unique_ptr<Adversary> adversary;
@@ -286,6 +326,7 @@ int main(int argc, char** argv) {
     spec.seed = seed;
     spec.max_slots = max_slots;
     spec.bit_atomic_writes = options.bit_atomic_writes;
+    spec.tree_order = tree_order;
 
     // Saves the recorded schedule stamped with its observed outcome; on a
     // violation the offending decision is already in `recorded`.
@@ -315,17 +356,12 @@ int main(int argc, char** argv) {
                     << ")\n";
           std::exit(0);
         }
-        save_checkpoint(cp, checkpoint_file);
+        EngineCheckpoint stamped_cp = cp;
+        stamped_cp.meta["tree_order"] = std::string(to_string(tree_order));
+        save_checkpoint(stamped_cp, checkpoint_file);
         last_saved_slot = cp.slot;
         have_saved_checkpoint = true;
       };
-    }
-
-    EngineCheckpoint resume_cp;
-    const EngineCheckpoint* resume_ptr = nullptr;
-    if (!resume_file.empty()) {
-      resume_cp = load_checkpoint(resume_file);
-      resume_ptr = &resume_cp;
     }
 
     std::ofstream event_os;

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Run every experiment bench (E1–E18) with --benchmark_format=json and
+# Run every experiment bench (E1–E19) with --benchmark_format=json and
 # aggregate the results into BENCH_<tag>.json, one point of the perf
 # trajectory the ROADMAP tracks PR over PR.
 #
@@ -35,7 +35,7 @@ done
 
 build_dir=${positional[0]:-build}
 out_dir=${positional[1]:-"$build_dir/bench-results"}
-tag=${positional[2]:-${RFSP_BENCH_TAG:-PR7}}
+tag=${positional[2]:-${RFSP_BENCH_TAG:-PR8}}
 
 aggregate_out="$out_dir/BENCH_${tag}.json"
 if [ -e "$aggregate_out" ] && [ "$force" != 1 ]; then

@@ -31,6 +31,11 @@ ViolationContext cycle_ctx(Slot slot, Pid pid, const char* move) {
   return {static_cast<std::int64_t>(slot), static_cast<std::int64_t>(pid),
           move};
 }
+
+// Tuned default for EngineOptions::lane_chunk (see the option's comment):
+// below this many lanes per worker, splitting a slot costs more in
+// cross-core line handoff than it saves in parallel cycle work.
+constexpr std::size_t kDefaultLaneChunk = 2048;
 }  // namespace
 
 void CycleContext::throw_read_budget() const {
@@ -153,7 +158,14 @@ struct Engine::CyclePool {
                 .count());
       }
       const std::size_t w = workers_.size();
-      const std::size_t chunk = (pids.size() + w - 1) / w;
+      std::size_t chunk = (pids.size() + w - 1) / w;
+      // Per-worker lane-chunk floor (EngineOptions::lane_chunk): chunks
+      // stay contiguous ascending-PID prefixes, so trailing workers just
+      // get empty ranges when the live set is small.
+      const std::size_t floor_lanes = engine_.options_.lane_chunk != 0
+                                          ? engine_.options_.lane_chunk
+                                          : kDefaultLaneChunk;
+      if (chunk < floor_lanes) chunk = floor_lanes;
       const std::size_t begin = std::min(pids.size(), index * chunk);
       const std::size_t end = std::min(pids.size(), begin + chunk);
       try {
@@ -542,13 +554,50 @@ void Engine::commit_writes(const FaultDecision& d) {
     std::fill(cell_stamp_.begin(), cell_stamp_.end(), 0u);
     commit_epoch_ = 1;
   }
-  const auto commit_op = [&](Addr addr, Word value, Pid pid) {
-    if (cell_stamp_[addr] != commit_epoch_) {
-      cell_stamp_[addr] = commit_epoch_;
-      commit_cell(addr, value);
-      return;
+  // The first-writer path below is the whole slot for fault-free batched
+  // runs (one buffered write per lane per slot), so it is flattened into
+  // the loop: stamp check, goal-range check, raw store. Conflict
+  // resolution and goal-counter upkeep stay out of line.
+  const std::uint32_t epoch = commit_epoch_;
+  std::uint32_t* const stamps = cell_stamp_.data();
+  const bool track_goal = incremental_goal_;
+  const Addr goal_base = goal_base_;
+  const Addr goal_end = goal_end_;
+  for (const LaneLog& lane : lanes_) {
+    for (const PendingWrite& op : lane.writes) {
+      if (casualties && mark_get(op.pid) != 0) continue;
+      const Addr addr = op.addr;
+      if (stamps[addr] == epoch) {
+        resolve_write_conflict(addr, op.value, op.pid);
+        continue;
+      }
+      stamps[addr] = epoch;
+      if (track_goal && addr >= goal_base && addr < goal_end) {
+        commit_cell(addr, op.value);
+        continue;
+      }
+      mem_.write(addr, op.value);
     }
-    switch (options_.model) {
+  }
+
+  // Torn writes (bit-atomic mode): the casualty's earlier writes land
+  // whole, the torn one lands low-bits-first, later ones are lost. They
+  // apply after the intact commits, in PID order (the serialization the
+  // combining network would impose on the straggler's bit stream).
+  for (const TornWrite& tear : d.torn) {
+    const CycleTrace& trace = traces_[tear.pid];
+    for (std::size_t w = 0; w < tear.write_index; ++w) {
+      commit_cell(trace.writes[w].addr, trace.writes[w].value);
+    }
+    const WriteOp& op = trace.writes[tear.write_index];
+    const Word mask = (Word{1} << tear.keep_bits) - 1;
+    const Word old = mem_.read(op.addr);
+    commit_cell(op.addr, (old & ~mask) | (op.value & mask));
+  }
+}
+
+void Engine::resolve_write_conflict(Addr addr, Word value, Pid pid) {
+  switch (options_.model) {
       case CrcwModel::kCommon:
         if (value != mem_.read(addr)) {
           throw ModelViolation(
@@ -576,28 +625,6 @@ void Engine::commit_writes(const FaultDecision& d) {
         throw ModelViolation("concurrent write under CREW/EREW at cell " +
                                  std::to_string(addr),
                              cycle_ctx(slot_, pid, "commit"));
-    }
-  };
-  for (const LaneLog& lane : lanes_) {
-    for (const PendingWrite& op : lane.writes) {
-      if (casualties && mark_get(op.pid) != 0) continue;
-      commit_op(op.addr, op.value, op.pid);
-    }
-  }
-
-  // Torn writes (bit-atomic mode): the casualty's earlier writes land
-  // whole, the torn one lands low-bits-first, later ones are lost. They
-  // apply after the intact commits, in PID order (the serialization the
-  // combining network would impose on the straggler's bit stream).
-  for (const TornWrite& tear : d.torn) {
-    const CycleTrace& trace = traces_[tear.pid];
-    for (std::size_t w = 0; w < tear.write_index; ++w) {
-      commit_cell(trace.writes[w].addr, trace.writes[w].value);
-    }
-    const WriteOp& op = trace.writes[tear.write_index];
-    const Word mask = (Word{1} << tear.keep_bits) - 1;
-    const Word old = mem_.read(op.addr);
-    commit_cell(op.addr, (old & ~mask) | (op.value & mask));
   }
 }
 

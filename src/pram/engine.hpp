@@ -18,8 +18,10 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "accounting/tally.hpp"
@@ -80,6 +82,14 @@ struct EngineCheckpoint {
   // halted processors have no private memory — §2.1 point 3).
   std::vector<std::optional<std::vector<Word>>> states;
   std::vector<std::uint64_t> adversary;
+
+  // Free-form context the *saver* attaches (the engine never writes it).
+  // The CLIs record config the memory image silently depends on — today
+  // "tree_order", whose mismatch on resume would reinterpret the layout-
+  // private tree cells under the wrong addresses — and refuse to resume
+  // under contradicting flags. Empty maps serialize to nothing, so
+  // meta-free checkpoints are byte-identical to the pre-meta format.
+  std::map<std::string, std::string> meta;
 
   friend bool operator==(const EngineCheckpoint&,
                          const EngineCheckpoint&) = default;
@@ -164,6 +174,17 @@ struct EngineOptions {
   // Only the cycle execution parallelizes; the adversary and the commit
   // remain on the calling thread.
   unsigned cycle_threads = 1;
+
+  // Minimum lanes each pool worker takes when cycle_threads > 1 splits a
+  // slot's live set (interpreter and batch paths alike). 0 = tuned default
+  // (2048). The live set is always split into contiguous ascending-PID
+  // chunks — worker i takes [i·chunk, (i+1)·chunk) — so raising the floor
+  // only idles trailing workers on small live sets; commit order, halt
+  // order, and therefore bit-identity are unaffected. The floor exists
+  // because a slot with few live lanes costs more in cross-core cache-line
+  // handoff than the split saves: below ~2k lanes per worker the batch
+  // kernels are memory-latency bound, not compute bound.
+  std::size_t lane_chunk = 0;
 
   // Safety valve: stop after this many slots even if the goal is unmet
   // (e.g. algorithm W genuinely need not terminate under restarts).
@@ -328,6 +349,9 @@ class Engine {
   void check_read_conflicts() const;
   bool goal_met() const;
   void commit_cell(Addr a, Word v);  // mem_ write + goal-counter upkeep
+  // Cold path of commit_writes: a cell already written this slot — resolve
+  // the CRCW conflict against the committed value (first writer won).
+  void resolve_write_conflict(Addr addr, Word value, Pid pid);
   void apply_transitions(const FaultDecision& d);
 
   // Per-PID scratch marks with O(1) bulk reset: a mark is valid only when

@@ -78,7 +78,24 @@ std::string checkpoint_to_json(const EngineCheckpoint& cp) {
     if (i != 0) out += ',';
     json::append_u64(out, cp.adversary[i]);
   }
-  out += "]}";
+  out += ']';
+
+  // Saver-attached context; omitted when empty so meta-free documents stay
+  // byte-identical to the pre-meta format (std::map keeps key order stable).
+  if (!cp.meta.empty()) {
+    out += R"(,"meta":{)";
+    bool first = true;
+    for (const auto& [key, value] : cp.meta) {
+      if (!first) out += ',';
+      first = false;
+      json::append_string(out, key);
+      out += ':';
+      json::append_string(out, value);
+    }
+    out += '}';
+  }
+
+  out += '}';
   return out;
 }
 
@@ -125,6 +142,12 @@ EngineCheckpoint checkpoint_from_json(std::string_view text) {
 
   for (const json::Value& a : v.at("adversary").as_array()) {
     cp.adversary.push_back(a.as_u64());
+  }
+
+  if (const json::Value* meta = v.find("meta"); meta != nullptr) {
+    for (const auto& [key, value] : meta->as_object()) {
+      cp.meta[key] = value.as_string();
+    }
   }
   return cp;
 }

@@ -8,7 +8,9 @@
 //    "memory":[...],            // shared memory, signed words
 //    "status":[0,1,2,...],      // 0=live, 1=failed, 2=halted
 //    "states":[[...],null,...], // per-pid private state; null unless live
-//    "adversary":[...]}         // opaque Adversary::save_state words
+//    "adversary":[...],         // opaque Adversary::save_state words
+//    "meta":{"tree_order":"veb"}} // optional saver-attached context; omitted
+//                                 // when empty (old documents parse as-is)
 //
 // The round-trip is exact (checkpoint_from_json(checkpoint_to_json(cp)) ==
 // cp), which is what makes kill-and-resume bit-identical: the resumed

@@ -79,6 +79,10 @@ ReproSpec spec_from_meta(const FaultSchedule& schedule) {
       it != schedule.meta.end()) {
     spec.bit_atomic_writes = parse_u64_meta("bit_atomic", it->second) != 0;
   }
+  if (const auto it = schedule.meta.find("tree_order");
+      it != schedule.meta.end()) {
+    spec.tree_order = tree_order_from_string(it->second);
+  }
   return spec;
 }
 
@@ -90,6 +94,9 @@ void write_meta(ReproSpec spec, FaultSchedule& schedule, ProbeStatus expected,
   schedule.meta["seed"] = std::to_string(spec.seed);
   schedule.meta["max_slots"] = std::to_string(spec.max_slots);
   if (spec.bit_atomic_writes) schedule.meta["bit_atomic"] = "1";
+  if (spec.tree_order != TreeOrder::kHeap) {
+    schedule.meta["tree_order"] = std::string(to_string(spec.tree_order));
+  }
   schedule.meta["status"] = std::string(to_string(expected));
   if (!note.empty()) schedule.meta["note"] = note;
 }
@@ -101,6 +108,7 @@ ProbeResult probe(const ReproSpec& spec, const FaultSchedule& schedule) {
   config.n = spec.n;
   config.p = spec.p;
   config.seed = spec.seed;
+  config.layout.tree_order = spec.tree_order;
   EngineOptions options;
   options.max_slots = spec.max_slots;
   // Torn-write moves are only legal in the bit-atomic model; honoring them

@@ -45,6 +45,11 @@ struct ReproSpec {
   std::uint64_t seed = 0;   // randomized algorithms (ACC)
   Slot max_slots = Slot{1} << 20;
   bool bit_atomic_writes = false;  // required to replay torn-write moves
+  // Tree storage order the run used. Replays are layout-independent (the
+  // adversary's decisions key on pids/slots, never addresses), but the
+  // recorded order keeps the reproducer byte-faithful to the original run's
+  // memory image, e.g. for checkpoint comparisons.
+  TreeOrder tree_order = TreeOrder::kHeap;
 };
 
 // Meta round-trip. spec_from_meta throws ConfigError when "algo"/"n"/"p"

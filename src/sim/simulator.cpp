@@ -201,7 +201,8 @@ class CommitTask final : public TaskSpec {
 // ---------------------------------------------------------------------------
 // SimLayout
 
-SimLayout::SimLayout(const SimProgram& program, Pid physical)
+SimLayout::SimLayout(const SimProgram& program, Pid physical,
+                     TreeOrder tree_order)
     : n(program.processors()),
       p(physical == 0 ? program.processors() : physical),
       data_cells(program.memory_cells()),
@@ -232,8 +233,10 @@ SimLayout::SimLayout(const SimProgram& program, Pid physical)
                             : 0;
   const Addr markers = commit_markers + commit_marker_cells;
   const Addr aux = markers + n;
-  wa_compute = CombinedLayout(markers, aux, n, p, compute_cycles);
-  wa_commit = CombinedLayout(markers, aux, n, p, commit_cycles);
+  wa_compute = CombinedLayout(markers, aux, n, p, compute_cycles,
+                              /*leaf_elems=*/0, tree_order);
+  wa_commit = CombinedLayout(markers, aux, n, p, commit_cycles,
+                             /*leaf_elems=*/0, tree_order);
   RFSP_CHECK(wa_compute.aux_end() == wa_commit.aux_end());
   total = wa_compute.aux_end();
 }
@@ -395,6 +398,9 @@ class SimProcState final : public ProcessorState {
     config_.p = layout.p;
     config_.stamp = stamp;
     config_.task = task_.get();
+    // The inner states take their tree addresses from `wa`, but keep the
+    // config's record consistent with the layout it binds to.
+    config_.layout.tree_order = wa.x.nav.order();
     switch (outer_.inner()) {
       case SimInner::kCombinedVX:
         inner_ = std::make_unique<CombinedState>(config_, wa, pid_, start);
@@ -442,7 +448,8 @@ std::unique_ptr<ProcessorState> SimulationProgram::load_state(
 
 SimResult simulate(const SimProgram& program, Adversary& adversary,
                    SimOptions options) {
-  const SimLayout layout(program, options.physical_processors);
+  const SimLayout layout(program, options.physical_processors,
+                         options.tree_order);
   const SimulationProgram outer(program, layout, options.inner);
 
   EngineOptions eopt;

@@ -48,6 +48,11 @@ struct SimOptions {
   // interface parity and falls back to the interpreter; it becomes live the
   // moment the simulation's pass programs gain kernels.
   bool batch = false;
+  // Storage order of the inner Write-All instances' progress/allocation
+  // trees (writeall/layout.hpp). Model-invisible: tallies and traces are
+  // identical across orders; only tree-cell addresses (and so memory
+  // images/checkpoints) differ.
+  TreeOrder tree_order = TreeOrder::kHeap;
   // Observability passthrough (see obs/trace.hpp, obs/metrics.hpp): the
   // engine emits slot/failure/restart/halt events to `sink` and run totals
   // into `metrics`. The simulation has no fixed-length phase structure
@@ -82,7 +87,8 @@ struct SimResult {
 
 // Memory map of a simulation run (exposed for tests and adversaries).
 struct SimLayout {
-  SimLayout(const SimProgram& program, Pid physical);
+  SimLayout(const SimProgram& program, Pid physical,
+            TreeOrder tree_order = TreeOrder::kHeap);
 
   Pid n = 0;          // simulated processors
   Pid p = 0;          // physical processors

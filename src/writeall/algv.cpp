@@ -11,7 +11,8 @@ namespace rfsp {
 // VLayout
 
 VLayout::VLayout(Addr x_base_in, Addr aux_base, Addr n_in, Pid p_in,
-                 unsigned task_cycles, Addr leaf_elems_override)
+                 unsigned task_cycles, Addr leaf_elems_override,
+                 TreeOrder order)
     : n(n_in), p(p_in) {
   RFSP_CHECK(n >= 1 && p >= 1);
   // B ≈ log2 N elements per leaf ("there are log N array elements per
@@ -29,6 +30,7 @@ VLayout::VLayout(Addr x_base_in, Addr aux_base, Addr n_in, Pid p_in,
   depth = ceil_log2(leaves);
   x_base = x_base_in;
   c_base = aux_base;
+  nav = TreeNav(depth + 1, order);
   phase_alloc = depth;
   phase_work = elems_per_leaf * (static_cast<Slot>(task_cycles) + 1);
   phase_update = static_cast<Slot>(depth) + 1;
@@ -128,8 +130,8 @@ bool AlgVState::alloc_cycle(CycleContext& ctx, Slot k) {
     if (payload_of(ctx.read(*done_flag_), stamp) != 0) return false;
   }
 
-  const Addr left = 2 * node_;
-  const Addr right = 2 * node_ + 1;
+  const Addr left = TreeNav::left(node_);
+  const Addr right = TreeNav::right(node_);
   const Word cl = payload_of(ctx.read(layout_.c(left)), stamp);
   const Word cr = payload_of(ctx.read(layout_.c(right)), stamp);
   const Addr rl = layout_.real_leaves_below(left);
@@ -204,9 +206,9 @@ bool AlgVState::update_cycle(CycleContext& ctx, Slot m) {
     return true;
   }
 
-  const Addr v = leaf_node >> m;
-  const Word cl = payload_of(ctx.read(layout_.c(2 * v)), stamp);
-  const Word cr = payload_of(ctx.read(layout_.c(2 * v + 1)), stamp);
+  const Addr v = TreeNav::ancestor(leaf_node, static_cast<unsigned>(m));
+  const Word cl = payload_of(ctx.read(layout_.c(TreeNav::left(v))), stamp);
+  const Word cr = payload_of(ctx.read(layout_.c(TreeNav::right(v))), stamp);
   const Word sum = cl + cr;
   ctx.write(layout_.c(v), stamped(stamp, sum));
   if (m == layout_.phase_update - 1 &&
@@ -223,7 +225,8 @@ bool AlgVState::update_cycle(CycleContext& ctx, Slot m) {
 AlgV::AlgV(WriteAllConfig config)
     : WriteAllProgram(config),
       layout_(config_.base, config_.base + config_.n, config_.n, config_.p,
-              config_.task_cycles(), config_.leaf_elems) {}
+              config_.task_cycles(), config_.leaf_elems,
+              config_.layout.tree_order) {}
 
 std::unique_ptr<ProcessorState> AlgV::boot(Pid pid) const {
   return std::make_unique<AlgVState>(config_, layout_, pid);

@@ -10,11 +10,13 @@ namespace rfsp {
 // ---------------------------------------------------------------------------
 // WLayout
 
-WLayout::WLayout(Addr x_base, Addr aux_base, Addr n, Pid p)
-    : progress(x_base, aux_base, n, p, /*task_cycles=*/0),
+WLayout::WLayout(Addr x_base, Addr aux_base, Addr n, Pid p, TreeOrder order)
+    : progress(x_base, aux_base, n, p, /*task_cycles=*/0,
+               /*leaf_elems_override=*/0, order),
       p_pad(static_cast<Pid>(ceil_pow2(p))),
       p_depth(ceil_log2(ceil_pow2(p))),
-      cnt_base(progress.aux_end()) {
+      cnt_base(progress.aux_end()),
+      cnt_nav(p_depth + 1, order) {
   phase_count = 1 + static_cast<Slot>(p_depth) + 1;
   iteration = phase_count + progress.phase_alloc + progress.phase_work +
               progress.phase_update;
@@ -99,10 +101,11 @@ bool AlgWState::count_cycle(CycleContext& ctx, Slot j, Word iter) {
   if (j <= layout_.p_depth) {
     // Climb level j: combine children counts at our depth-(p_depth - j)
     // ancestor; accumulate our rank from left siblings we pass.
-    const Addr my_prev = layout_.cnt_leaf(pid_) >> (j - 1);
-    const Addr v = my_prev / 2;
-    const Word cl = payload_of(ctx.read(layout_.cnt(2 * v)), iter);
-    const Word cr = payload_of(ctx.read(layout_.cnt(2 * v + 1)), iter);
+    const Addr my_prev = TreeNav::ancestor(layout_.cnt_leaf(pid_),
+                                           static_cast<unsigned>(j - 1));
+    const Addr v = TreeNav::parent(my_prev);
+    const Word cl = payload_of(ctx.read(layout_.cnt(TreeNav::left(v))), iter);
+    const Word cr = payload_of(ctx.read(layout_.cnt(TreeNav::right(v))), iter);
     ctx.write(layout_.cnt(v), stamped(iter, cl + cr));
     if (my_prev % 2 == 1) rank_ += static_cast<Pid>(cl);
     return true;
@@ -117,8 +120,8 @@ bool AlgWState::count_cycle(CycleContext& ctx, Slot j, Word iter) {
 
 bool AlgWState::alloc_cycle(CycleContext& ctx, Slot k) {
   const VLayout& pr = layout_.progress;
-  const Addr left = 2 * node_;
-  const Addr right = 2 * node_ + 1;
+  const Addr left = TreeNav::left(node_);
+  const Addr right = TreeNav::right(node_);
   const Word cl = payload_of(ctx.read(pr.c(left)), 0);
   const Word cr = payload_of(ctx.read(pr.c(right)), 0);
   const Addr rl = pr.real_leaves_below(left);
@@ -170,9 +173,9 @@ bool AlgWState::update_cycle(CycleContext& ctx, Slot m) {
     ctx.write(pr.c(leaf_node), stamped(0, 1));
     return pr.depth != 0;  // one-leaf tree: done immediately
   }
-  const Addr v = leaf_node >> m;
-  const Word cl = payload_of(ctx.read(pr.c(2 * v)), 0);
-  const Word cr = payload_of(ctx.read(pr.c(2 * v + 1)), 0);
+  const Addr v = TreeNav::ancestor(leaf_node, static_cast<unsigned>(m));
+  const Word cl = payload_of(ctx.read(pr.c(TreeNav::left(v))), 0);
+  const Word cr = payload_of(ctx.read(pr.c(TreeNav::right(v))), 0);
   const Word sum = cl + cr;
   ctx.write(pr.c(v), stamped(0, sum));
   return !(m == pr.phase_update - 1 &&
@@ -184,7 +187,8 @@ bool AlgWState::update_cycle(CycleContext& ctx, Slot m) {
 
 AlgW::AlgW(WriteAllConfig config)
     : WriteAllProgram(config),
-      layout_(config_.base, config_.base + config_.n, config_.n, config_.p) {
+      layout_(config_.base, config_.base + config_.n, config_.n, config_.p,
+              config_.layout.tree_order) {
   if (config_.task != nullptr || config_.stamp != 0) {
     throw ConfigError(
         "AlgW is a standalone baseline: no TaskSpec, no epoch stamping");

@@ -8,21 +8,12 @@ namespace rfsp {
 // ---------------------------------------------------------------------------
 // XLayout
 
-XLayout::XLayout(Addr x_base_in, Addr aux_base, Addr n_in, Pid p_in)
+XLayout::XLayout(Addr x_base_in, Addr aux_base, Addr n_in, Pid p_in,
+                 TreeOrder order)
     : n(n_in), n_pad(ceil_pow2(n_in)), height(ceil_log2(ceil_pow2(n_in))),
       p(p_in), x_base(x_base_in), d_base(aux_base),
-      w_base(aux_base + (2 * ceil_pow2(n_in) - 1)) {
+      w_base(aux_base + (2 * ceil_pow2(n_in) - 1)), nav(height + 1, order) {
   RFSP_CHECK(n >= 1 && p >= 1);
-}
-
-Addr XLayout::first_element(Addr node) const {
-  const unsigned depth = floor_log2(node);
-  return (node << (height - depth)) - n_pad;
-}
-
-Addr XLayout::elements_below(Addr node) const {
-  const unsigned depth = floor_log2(node);
-  return Addr{1} << (height - depth);
 }
 
 // ---------------------------------------------------------------------------
@@ -156,7 +147,7 @@ bool AlgXState::navigate(CycleContext& ctx) {
       }
     }
     // Move one level up; above the root means the whole tree is finished.
-    const Addr up = pos / 2;
+    const Addr up = TreeNav::parent(pos);
     ctx.write(layout_.w(pid_),
               stamped(stamp, up == 0 ? layout_.exited()
                                      : static_cast<Word>(up)));
@@ -194,8 +185,8 @@ bool AlgXState::navigate(CycleContext& ctx) {
 
   // Interior node: inspect both subtrees (padding counts as done without a
   // read; the read budget then still fits 4).
-  const Addr left = 2 * pos;
-  const Addr right = 2 * pos + 1;
+  const Addr left = TreeNav::left(pos);
+  const Addr right = TreeNav::right(pos);
   const bool left_done =
       layout_.structurally_done(left) ||
       payload_of(ctx.read(layout_.d(left)), stamp) != 0;
@@ -233,7 +224,8 @@ bool AlgXState::navigate(CycleContext& ctx) {
 
 AlgX::AlgX(WriteAllConfig config)
     : WriteAllProgram(config),
-      layout_(config_.base, config_.base + config_.n, config_.n, config_.p) {}
+      layout_(config_.base, config_.base + config_.n, config_.n, config_.p,
+              config_.layout.tree_order) {}
 
 std::unique_ptr<ProcessorState> AlgX::boot(Pid pid) const {
   return std::make_unique<AlgXState>(config_, layout_, pid);

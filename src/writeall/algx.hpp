@@ -43,7 +43,8 @@ namespace rfsp {
 // X over one output array); the auxiliary region (d heap + w array) is
 // private to this instance.
 struct XLayout {
-  XLayout(Addr x_base, Addr aux_base, Addr n, Pid p);
+  XLayout(Addr x_base, Addr aux_base, Addr n, Pid p,
+          TreeOrder order = TreeOrder::kHeap);
 
   Addr n = 0;      // real array size
   Addr n_pad = 0;  // padded to a power of two; the d heap has n_pad leaves
@@ -51,11 +52,15 @@ struct XLayout {
   Pid p = 0;
 
   Addr x_base = 0;
-  Addr d_base = 0;  // d[1 .. 2·n_pad - 1], 1-indexed heap
+  Addr d_base = 0;  // d[1 .. 2·n_pad - 1], 1-indexed logical ids
   Addr w_base = 0;  // w[0 .. p)
 
+  // Storage order of the d tree. Node ids (in w payloads, descents, and
+  // checkpoints) are always logical; only d() depends on the order.
+  TreeNav nav;
+
   Addr x(Addr i) const { return x_base + i; }
-  Addr d(Addr node) const { return d_base + node - 1; }
+  Addr d(Addr node) const { return d_base + nav.pos(node); }
   Addr w(Pid pid) const { return w_base + pid; }
   Addr aux_end() const { return w_base + p; }
 
@@ -65,9 +70,17 @@ struct XLayout {
   Word exited() const { return static_cast<Word>(2 * n_pad); }
 
   // Range [first, last) of elements below `node`; empty intersection with
-  // [0, n) means the subtree is structurally done (padding).
-  Addr first_element(Addr node) const;
-  Addr elements_below(Addr node) const;
+  // [0, n) means the subtree is structurally done (padding). Inline: the
+  // batched X kernel calls these once or twice per lane per slot, and an
+  // out-of-line call was a measurable slice of the 2^24 headline row.
+  Addr first_element(Addr node) const {
+    const unsigned depth = floor_log2(node);
+    return (node << (height - depth)) - n_pad;
+  }
+  Addr elements_below(Addr node) const {
+    const unsigned depth = floor_log2(node);
+    return Addr{1} << (height - depth);
+  }
   bool structurally_done(Addr node) const {
     return first_element(node) >= n;
   }

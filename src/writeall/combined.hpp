@@ -26,7 +26,8 @@ namespace rfsp {
 
 struct CombinedLayout {
   CombinedLayout(Addr x_base, Addr aux_base, Addr n, Pid p,
-                 unsigned task_cycles, Addr leaf_elems = 0);
+                 unsigned task_cycles, Addr leaf_elems = 0,
+                 TreeOrder order = TreeOrder::kHeap);
 
   Addr done = 0;  // shared completion flag (stamped)
   VLayout v;

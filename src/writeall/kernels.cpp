@@ -14,8 +14,23 @@
 #include "writeall/algx.hpp"
 #include "writeall/combined.hpp"
 
+// Software prefetch for the lane loops: a batched slot touches thousands of
+// independent tree paths, so issuing the next lanes' loads while the
+// current lane computes hides most of the miss latency. Semantics-neutral
+// (a prefetch is a hint, never a read the model sees).
+#if defined(__GNUC__) || defined(__clang__)
+#define RFSP_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define RFSP_PREFETCH(addr) ((void)(addr))
+#endif
+
 namespace rfsp {
 namespace {
+
+// How many lanes ahead the batch loops prefetch. Large enough to cover an
+// LLC miss at typical per-lane costs, small enough that the prefetched
+// lines are still resident when their lane runs.
+constexpr std::size_t kPrefetchDist = 32;
 
 // Control-state tags for the iteration-synchronized algorithms (W, V, VX):
 // a restarted lane waits for the wrap-around before rejoining. X is
@@ -59,7 +74,23 @@ inline void expect_word(WordReader& r, std::uint64_t want, const char* what) {
 // in shared memory (w[pid]), so the lane body is a pure function of the
 // slot-start memory — shared verbatim by the standalone X kernel and the
 // odd slots of the combined kernel.
+//
+// The hot path is templated on the tree storage order: X is the one
+// algorithm whose per-cycle work is dominated by d-cell address
+// computation and the resulting misses, so the heap mapping (a subtract)
+// must not pay for vEB's step loop, and the vEB mapping wants the loop
+// inlined against a constant table shape.
 
+template <TreeOrder Order>
+inline Addr x_d_addr(const XLayout& lay, Addr node) {
+  if constexpr (Order == TreeOrder::kHeap) {
+    return lay.d_base + node - 1;
+  } else {
+    return lay.d_base + lay.nav.veb_pos(node);
+  }
+}
+
+template <TreeOrder Order>
 void x_navigate_lane(const WriteAllConfig& config, const XLayout& lay,
                      const std::optional<Addr>& done_flag,
                      std::span<const Word> mem, Pid pid, LaneEmit& em) {
@@ -83,9 +114,13 @@ void x_navigate_lane(const WriteAllConfig& config, const XLayout& lay,
   RFSP_CHECK_MSG(pos >= 1 && pos < 2 * lay.n_pad,
                  "corrupt traversal position");
 
-  const bool done = payload_of(mem[lay.d(pos)], stamp) != 0;
+  // One storage lookup for d[pos] per lane-slot: the done read and the
+  // leaf/interior marks all reuse this address (for vEB each lookup is a
+  // step-table walk, and this cycle touches d[pos] up to twice).
+  const Addr pos_addr = x_d_addr<Order>(lay, pos);
+  const bool done = payload_of(mem[pos_addr], stamp) != 0;
   if (done) {
-    const Addr up = pos / 2;
+    const Addr up = TreeNav::parent(pos);
     em.write(lay.w(pid),
              stamped(stamp, up == 0 ? lay.exited() : static_cast<Word>(up)));
     return;
@@ -94,12 +129,12 @@ void x_navigate_lane(const WriteAllConfig& config, const XLayout& lay,
   if (pos >= lay.n_pad) {  // at a leaf
     const Addr element = pos - lay.n_pad;
     if (element >= lay.n) {
-      em.write(lay.d(pos), stamped(stamp, 1));
+      em.write(pos_addr, stamped(stamp, 1));
       return;
     }
     const bool visited = payload_of(mem[lay.x(element)], stamp) != 0;
     if (visited) {
-      em.write(lay.d(pos), stamped(stamp, 1));
+      em.write(pos_addr, stamped(stamp, 1));
       if (done_flag && pos == 1) {
         em.write(*done_flag, stamped(stamp, 1));
       }
@@ -109,14 +144,27 @@ void x_navigate_lane(const WriteAllConfig& config, const XLayout& lay,
     return;
   }
 
-  const Addr left = 2 * pos;
-  const Addr right = 2 * pos + 1;
-  const bool left_done = lay.structurally_done(left) ||
-                         payload_of(mem[lay.d(left)], stamp) != 0;
-  const bool right_done = lay.structurally_done(right) ||
-                          payload_of(mem[lay.d(right)], stamp) != 0;
+  const unsigned depth = floor_log2(pos);
+  const Addr left = TreeNav::left(pos);
+  const Addr right = left + 1;
+  // The right sibling sits a per-depth constant past the left child, so one
+  // lookup addresses both children (heap: adjacent cells; vEB: the stride
+  // of the step consuming path bit 0 at the children's depth).
+  const Addr left_addr = x_d_addr<Order>(lay, left);
+  Addr right_addr;
+  if constexpr (Order == TreeOrder::kHeap) {
+    right_addr = left_addr + 1;
+  } else {
+    right_addr = left_addr + lay.nav.sibling_stride(depth + 1);
+  }
+  const bool left_done =
+      lay.structurally_done(left) ||
+      payload_of(mem[left_addr], stamp) != 0;
+  const bool right_done =
+      lay.structurally_done(right) ||
+      payload_of(mem[right_addr], stamp) != 0;
   if (left_done && right_done) {
-    em.write(lay.d(pos), stamped(stamp, 1));
+    em.write(pos_addr, stamped(stamp, 1));
     if (done_flag && pos == 1) em.write(*done_flag, stamped(stamp, 1));
     return;
   }
@@ -124,12 +172,47 @@ void x_navigate_lane(const WriteAllConfig& config, const XLayout& lay,
   if (left_done != right_done) {
     next = left_done ? right : left;
   } else {
-    const unsigned depth = floor_log2(pos);
     const std::uint64_t significant =
         static_cast<std::uint64_t>(pid) % lay.n_pad;
     next = msb_bit(significant, depth, lay.height) ? right : left;
   }
   em.write(lay.w(pid), stamped(stamp, static_cast<Word>(next)));
+}
+
+// Run one navigate cycle for every lane of a group, software-pipelined:
+// before lane i runs, lane i + kPrefetchDist's tree cells are prefetched.
+// Classifying the future lane costs only its w cell (sequential, cheap);
+// from the position we can prefetch exactly what the lane body will read —
+// its d cell, plus the children (interior) or the x element (leaf).
+template <TreeOrder Order>
+void x_navigate_group(const WriteAllConfig& config, const XLayout& lay,
+                      const std::optional<Addr>& done_flag,
+                      const BatchContext& ctx, std::span<const Pid> pids) {
+  const Word stamp = config.stamp;
+  const std::span<const Word> mem = ctx.mem;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (i + kPrefetchDist < pids.size()) {
+      const Pid fpid = pids[i + kPrefetchDist];
+      const Word fwv = payload_of(mem[lay.w(fpid)], stamp);
+      if (fwv != 0 && fwv != static_cast<Word>(lay.exited())) {
+        const Addr fpos = static_cast<Addr>(fwv);
+        if (fpos >= 1 && fpos < 2 * lay.n_pad) {
+          RFSP_PREFETCH(&mem[x_d_addr<Order>(lay, fpos)]);
+          if (fpos >= lay.n_pad) {
+            const Addr element = fpos - lay.n_pad;
+            if (element < lay.n) RFSP_PREFETCH(&mem[lay.x(element)]);
+          } else {
+            // Left child only: the right sibling is 1 cell away (heap) or
+            // inside the same vEB bottom block, so one line usually covers
+            // both and the second lookup isn't worth its address walk.
+            RFSP_PREFETCH(&mem[x_d_addr<Order>(lay, TreeNav::left(fpos))]);
+          }
+        }
+      }
+    }
+    LaneEmit em(ctx, pids[i]);
+    x_navigate_lane<Order>(config, lay, done_flag, mem, pids[i], em);
+  }
 }
 
 // The constant tail of an X state's checkpoint stream (mode kNavigate, no
@@ -196,8 +279,8 @@ void v_alloc_lane(const VLayout& lay, const std::optional<Addr>& done_flag,
                   Word stamp, std::span<const Word> mem, SoaStore& soa,
                   Pid pid, LaneEmit& em, Slot k, AllocMemo& memo) {
   const Addr node = static_cast<Addr>(soa.reg(kVNode, pid));
-  const Addr left = 2 * node;
-  const Addr right = 2 * node + 1;
+  const Addr left = TreeNav::left(node);
+  const Addr right = TreeNav::right(node);
   const Pid lo = static_cast<Pid>(soa.reg(kVLo, pid));
   const Pid hi = static_cast<Pid>(soa.reg(kVHi, pid));
   if (node != memo.node || lo != memo.lo || hi != memo.hi) {
@@ -307,13 +390,22 @@ void v_run_active(const WriteAllConfig& config, const VLayout& lay,
     }
     return;
   }
-  for (const Pid pid : pids) {
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (i + kPrefetchDist < pids.size()) {
+      const Addr fv = TreeNav::ancestor(
+          lay.leaf_node(static_cast<Addr>(soa.reg(kVLeaf,
+                                                  pids[i + kPrefetchDist]))),
+          static_cast<unsigned>(m));
+      RFSP_PREFETCH(&ctx.mem[lay.c(TreeNav::left(fv))]);
+      RFSP_PREFETCH(&ctx.mem[lay.c(TreeNav::right(fv))]);
+    }
+    const Pid pid = pids[i];
     LaneEmit em(ctx, pid);
     const Addr leaf_node =
         lay.leaf_node(static_cast<Addr>(soa.reg(kVLeaf, pid)));
-    const Addr v = leaf_node >> m;
-    const Word cl = payload_of(ctx.mem[lay.c(2 * v)], stamp);
-    const Word cr = payload_of(ctx.mem[lay.c(2 * v + 1)], stamp);
+    const Addr v = TreeNav::ancestor(leaf_node, static_cast<unsigned>(m));
+    const Word cl = payload_of(ctx.mem[lay.c(TreeNav::left(v))], stamp);
+    const Word cr = payload_of(ctx.mem[lay.c(TreeNav::right(v))], stamp);
     const Word sum = cl + cr;
     em.write(lay.c(v), stamped(stamp, sum));
     if (m == lay.phase_update - 1 &&
@@ -468,10 +560,13 @@ class WBatchKernel final : public BatchKernel {
     if (j <= layout_.p_depth) {
       for (const Pid pid : pids) {
         LaneEmit em(ctx, pid);
-        const Addr my_prev = layout_.cnt_leaf(pid) >> (j - 1);
-        const Addr v = my_prev / 2;
-        const Word cl = payload_of(ctx.mem[layout_.cnt(2 * v)], iter);
-        const Word cr = payload_of(ctx.mem[layout_.cnt(2 * v + 1)], iter);
+        const Addr my_prev = TreeNav::ancestor(
+            layout_.cnt_leaf(pid), static_cast<unsigned>(j - 1));
+        const Addr v = TreeNav::parent(my_prev);
+        const Word cl =
+            payload_of(ctx.mem[layout_.cnt(TreeNav::left(v))], iter);
+        const Word cr =
+            payload_of(ctx.mem[layout_.cnt(TreeNav::right(v))], iter);
         em.write(layout_.cnt(v), stamped(iter, cl + cr));
         if (my_prev % 2 == 1) soa.reg(kRank, pid) += cl;
       }
@@ -492,8 +587,8 @@ class WBatchKernel final : public BatchKernel {
                   LaneEmit& em, Slot k, AllocMemo& memo) const {
     const VLayout& pr = layout_.progress;
     const Addr node = static_cast<Addr>(soa.reg(kNode, pid));
-    const Addr left = 2 * node;
-    const Addr right = 2 * node + 1;
+    const Addr left = TreeNav::left(node);
+    const Addr right = TreeNav::right(node);
     const Pid lo = static_cast<Pid>(soa.reg(kLo, pid));
     const Pid hi = static_cast<Pid>(soa.reg(kHi, pid));
     if (node != memo.node || lo != memo.lo || hi != memo.hi) {
@@ -554,13 +649,22 @@ class WBatchKernel final : public BatchKernel {
       }
       return;
     }
-    for (const Pid pid : pids) {
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      if (i + kPrefetchDist < pids.size()) {
+        const Addr fv = TreeNav::ancestor(
+            pr.leaf_node(static_cast<Addr>(soa.reg(kLeaf,
+                                                   pids[i + kPrefetchDist]))),
+            static_cast<unsigned>(m));
+        RFSP_PREFETCH(&ctx.mem[pr.c(TreeNav::left(fv))]);
+        RFSP_PREFETCH(&ctx.mem[pr.c(TreeNav::right(fv))]);
+      }
+      const Pid pid = pids[i];
       LaneEmit em(ctx, pid);
       const Addr leaf_node =
           pr.leaf_node(static_cast<Addr>(soa.reg(kLeaf, pid)));
-      const Addr v = leaf_node >> m;
-      const Word cl = payload_of(ctx.mem[pr.c(2 * v)], 0);
-      const Word cr = payload_of(ctx.mem[pr.c(2 * v + 1)], 0);
+      const Addr v = TreeNav::ancestor(leaf_node, static_cast<unsigned>(m));
+      const Word cl = payload_of(ctx.mem[pr.c(TreeNav::left(v))], 0);
+      const Word cr = payload_of(ctx.mem[pr.c(TreeNav::right(v))], 0);
       const Word sum = cl + cr;
       em.write(pr.c(v), stamped(0, sum));
       if (m == pr.phase_update - 1 &&
@@ -629,7 +733,9 @@ class VBatchKernel final : public BatchKernel {
 
 // ---------------------------------------------------------------------------
 // Algorithm X kernel (PID-bit descent; no private registers at all).
+// Templated on the tree storage order — see x_navigate_lane.
 
+template <TreeOrder Order>
 class XBatchKernel final : public BatchKernel {
  public:
   XBatchKernel(const WriteAllConfig& config, const XLayout& layout)
@@ -644,10 +750,7 @@ class XBatchKernel final : public BatchKernel {
 
   void run(std::uint32_t /*ctrl*/, std::span<const Pid> pids,
            const BatchContext& ctx, SoaStore& /*soa*/) const override {
-    for (const Pid pid : pids) {
-      LaneEmit em(ctx, pid);
-      x_navigate_lane(config_, layout_, std::nullopt, ctx.mem, pid, em);
-    }
+    x_navigate_group<Order>(config_, layout_, std::nullopt, ctx, pids);
   }
 
   void save_lane(const SoaStore& /*soa*/, Pid /*pid*/,
@@ -676,6 +779,7 @@ class XBatchKernel final : public BatchKernel {
 // private registers, so the combined lane state is V's registers plus the
 // waiting tag (the X half is memoryless across cycles).
 
+template <TreeOrder Order>
 class VxBatchKernel final : public BatchKernel {
  public:
   VxBatchKernel(const WriteAllConfig& config, const CombinedLayout& layout)
@@ -692,10 +796,7 @@ class VxBatchKernel final : public BatchKernel {
            const BatchContext& ctx, SoaStore& soa) const override {
     if (ctx.slot % 2 != 0) {
       // X half; the V waiting tag is irrelevant on odd slots.
-      for (const Pid pid : pids) {
-        LaneEmit em(ctx, pid);
-        x_navigate_lane(config_, layout_.x, layout_.done, ctx.mem, pid, em);
-      }
+      x_navigate_group<Order>(config_, layout_.x, layout_.done, ctx, pids);
       return;
     }
     const Slot phi = (ctx.slot / 2) % layout_.v.iteration;
@@ -756,12 +857,18 @@ std::unique_ptr<BatchKernel> make_v_batch_kernel(const WriteAllConfig& config,
 
 std::unique_ptr<BatchKernel> make_x_batch_kernel(const WriteAllConfig& config,
                                                  const XLayout& layout) {
-  return std::make_unique<XBatchKernel>(config, layout);
+  if (layout.nav.order() == TreeOrder::kVeb) {
+    return std::make_unique<XBatchKernel<TreeOrder::kVeb>>(config, layout);
+  }
+  return std::make_unique<XBatchKernel<TreeOrder::kHeap>>(config, layout);
 }
 
 std::unique_ptr<BatchKernel> make_vx_batch_kernel(
     const WriteAllConfig& config, const CombinedLayout& layout) {
-  return std::make_unique<VxBatchKernel>(config, layout);
+  if (layout.x.nav.order() == TreeOrder::kVeb) {
+    return std::make_unique<VxBatchKernel<TreeOrder::kVeb>>(config, layout);
+  }
+  return std::make_unique<VxBatchKernel<TreeOrder::kHeap>>(config, layout);
 }
 
 std::unique_ptr<BatchKernel> AlgW::batch_kernels() const {

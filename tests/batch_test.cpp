@@ -137,12 +137,13 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name,
   if (name == "stalker") {
     if (algo == WriteAllAlgo::kX) {
       return std::make_unique<PostOrderStalker>(
-          XLayout(config.base, config.base + config.n, config.n, config.p));
+          XLayout(config.base, config.base + config.n, config.n, config.p,
+                  config.layout.tree_order));
     }
     if (algo == WriteAllAlgo::kCombinedVX) {
       return std::make_unique<PostOrderStalker>(
           CombinedLayout(config.base, config.base + config.n, config.n,
-                         config.p, 0)
+                         config.p, 0, 0, config.layout.tree_order)
               .x);
     }
     return std::make_unique<HalvingAdversary>(0, config.n);
@@ -154,12 +155,15 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name,
 }
 
 void check_equivalence(WriteAllAlgo algo, const std::string& adversary_name,
-                       std::size_t threads) {
+                       std::size_t threads,
+                       TreeOrder order = TreeOrder::kHeap) {
   const std::string what = std::string(to_string(algo)) + " x " +
                            adversary_name + " x threads=" +
-                           std::to_string(threads);
+                           std::to_string(threads) + " x " +
+                           std::string(to_string(order));
   SCOPED_TRACE(what);
-  const WriteAllConfig config{.n = 192, .p = 48, .seed = 5};
+  const WriteAllConfig config{
+      .n = 192, .p = 48, .seed = 5, .layout = {.tree_order = order}};
   const std::uint64_t seed = 77;
 
   EngineOptions options;
@@ -233,6 +237,46 @@ TEST(BatchEquivalence, ChaosWithTornWrites) {
   }
 }
 
+// The vEB storage order is a pure address remap, so the interpreter/batch
+// bit-identity contract must hold under it verbatim — including the veb
+// X/VX kernel template instantiations and the stalker built from a veb
+// layout.
+TEST(BatchEquivalence, VebTreeOrder) {
+  for (const WriteAllAlgo algo : {WriteAllAlgo::kW, WriteAllAlgo::kV,
+                                  WriteAllAlgo::kX,
+                                  WriteAllAlgo::kCombinedVX}) {
+    for (const char* adversary : {"none", "random", "burst", "stalker",
+                                  "chaos"}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        check_equivalence(algo, adversary, threads, TreeOrder::kVeb);
+      }
+    }
+  }
+}
+
+// Worker lane-chunk sizing is a scheduling knob: chunks stay contiguous in
+// ascending pid order, so every chunk size (including degenerate ones that
+// leave trailing workers idle) must reproduce the same run bit for bit.
+TEST(BatchEquivalence, LaneChunkInvariance) {
+  const WriteAllConfig config{.n = 192, .p = 48, .seed = 5};
+  EngineOptions base;
+  base.max_slots = 4000;
+  base.cycle_threads = 4;
+  base.batch = true;
+  ChaosAdversary ref_adv(77, /*allow_torn=*/false);
+  const FullOutcome ref =
+      run_full(WriteAllAlgo::kCombinedVX, config, ref_adv, base);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    EngineOptions options = base;
+    options.lane_chunk = chunk;
+    ChaosAdversary adv(77, /*allow_torn=*/false);
+    const FullOutcome out =
+        run_full(WriteAllAlgo::kCombinedVX, config, adv, options);
+    expect_identical(ref, out, "lane_chunk=" + std::to_string(chunk));
+  }
+}
+
 // --- Cross-mode checkpoint resume ------------------------------------------
 
 // A checkpoint captured in one mode must resume in the other and land on
@@ -241,8 +285,11 @@ TEST(BatchCheckpoint, ResumesAcrossModes) {
   for (const WriteAllAlgo algo : {WriteAllAlgo::kW, WriteAllAlgo::kV,
                                   WriteAllAlgo::kX,
                                   WriteAllAlgo::kCombinedVX}) {
-    SCOPED_TRACE(to_string(algo));
-    const WriteAllConfig config{.n = 48, .p = 12, .seed = 5};
+   for (const TreeOrder order : {TreeOrder::kHeap, TreeOrder::kVeb}) {
+    SCOPED_TRACE(std::string(to_string(algo)) + " x " +
+                 std::string(to_string(order)));
+    const WriteAllConfig config{
+        .n = 48, .p = 12, .seed = 5, .layout = {.tree_order = order}};
     const std::uint64_t seed = 77;
     EngineOptions options;
     options.max_slots = 2000;
@@ -283,6 +330,7 @@ TEST(BatchCheckpoint, ResumesAcrossModes) {
         EXPECT_EQ(straight.solved, resumed.solved);
       }
     }
+   }
   }
 }
 

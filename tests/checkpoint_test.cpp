@@ -36,6 +36,28 @@ TEST(CheckpointFormat, JsonRoundTripIsExact) {
   EXPECT_EQ(text, checkpoint_to_json(back));  // canonical
 }
 
+// Saver-attached meta (the CLIs record "tree_order" so a layout-private
+// memory image cannot be silently resumed under the wrong storage order):
+// round-trips exactly, and an empty map serializes to no "meta" key at all,
+// keeping meta-free documents byte-identical to the pre-meta format.
+TEST(CheckpointFormat, MetaRoundTripAndAbsentWhenEmpty) {
+  EngineCheckpoint cp;
+  cp.slot = 3;
+  cp.memory = {1};
+  EXPECT_EQ(checkpoint_to_json(cp).find("\"meta\""), std::string::npos);
+
+  cp.meta = {{"tree_order", "veb"}, {"note", "a \"quoted\" value"}};
+  const std::string text = checkpoint_to_json(cp);
+  const EngineCheckpoint back = checkpoint_from_json(text);
+  EXPECT_EQ(cp, back);
+  EXPECT_EQ(text, checkpoint_to_json(back));  // canonical
+
+  // A pre-meta document (no "meta" key) parses to an empty map.
+  EngineCheckpoint bare = cp;
+  bare.meta.clear();
+  EXPECT_TRUE(checkpoint_from_json(checkpoint_to_json(bare)).meta.empty());
+}
+
 TEST(CheckpointFormat, RejectsMalformedInput) {
   EXPECT_THROW(checkpoint_from_json("{}"), ConfigError);
   EXPECT_THROW(checkpoint_from_json(R"({"format":"other","version":1})"),
