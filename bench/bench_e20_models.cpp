@@ -1,0 +1,209 @@
+// E20 — memory-model backends: completed work under faulty cells and
+// persistent-cache amnesia (pram/faults.hpp, docs/fault-models.md).
+//
+// Two claims to measure, per algorithm in {W, V, X, VX}:
+//
+//  * Faulty cells with an intact spare budget are free at the model level:
+//    the remap is transparent, so the tally (S, S', |F|, slots) must equal
+//    the reliable run's exactly — the table gates on that equality and
+//    reports only the wall-clock cost of the address translation, by
+//    static-fault density. Past the spare budget there is nothing to
+//    measure: the runner refuses the instance as unsolvable (one marker
+//    row documents the cliff).
+//
+//  * Persistent-cache amnesia is NOT free: every failure discards the
+//    victim's un-persisted writes, so completed work S genuinely grows as
+//    the persist cadence coarsens. Rows sweep persist_every in {1, 4, 16,
+//    64} under a deterministic burst adversary; persist_every = 1 is
+//    tally-gated against the reliable run (the equivalence the model
+//    proves), and the S ratio column is the degradation curve.
+//
+// All rows run the interpreter (a non-reliable model forces it; the
+// reliable baselines stay interpreted for an apples-to-apples clock).
+// W runs under a restart-free burst (it is fail-stop only); V/X/VX take
+// the same burst with same-slot restarts.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fault/adversaries.hpp"
+#include "pram/faults.hpp"
+#include "util/table.hpp"
+#include "writeall/runner.hpp"
+
+namespace rfsp {
+namespace {
+
+constexpr Addr kN = Addr{1} << 14;
+constexpr Pid kP = 256;
+
+const std::vector<WriteAllAlgo> kAlgos = {
+    WriteAllAlgo::kW, WriteAllAlgo::kV, WriteAllAlgo::kX,
+    WriteAllAlgo::kCombinedVX};
+
+// W is fail-stop (no restarts): burst casualties stay down, so keep the
+// bursts sparse enough that survivors finish. The restartable algorithms
+// take a denser burst with same-slot revivals.
+BurstAdversaryOptions burst_for(WriteAllAlgo algo) {
+  if (algo == WriteAllAlgo::kW) {
+    return {.period = 8, .count = 2, .restart = false, .max_pattern = 128};
+  }
+  return {.period = 8, .count = 8, .restart = true};
+}
+
+struct Row {
+  WriteAllAlgo algo;
+  MemoryModel model;
+  std::uint64_t knob;  // faulty-cells: static fault count; cache: cadence
+};
+
+WriteAllOutcome run_row(const Row& row) {
+  BurstAdversary adversary(burst_for(row.algo));
+  EngineOptions options;
+  options.memory_model = row.model;
+  if (row.model == MemoryModel::kFaultyCells) {
+    options.faulty_cells = {.seed = 20, .cells = row.knob};
+  } else if (row.model == MemoryModel::kPersistentCache) {
+    options.persistent_cache = {.persist_every = row.knob};
+  }
+  return run_writeall(row.algo, {.n = kN, .p = kP, .seed = 1}, adversary,
+                      options);
+}
+
+std::string row_label(const Row& row) {
+  switch (row.model) {
+    case MemoryModel::kReliable:
+      return "reliable";
+    case MemoryModel::kFaultyCells:
+      return "cells:" + std::to_string(row.knob);
+    case MemoryModel::kPersistentCache:
+      return "pe:" + std::to_string(row.knob);
+  }
+  return "?";
+}
+
+void BM_Model(benchmark::State& state) {
+  const Row row{static_cast<WriteAllAlgo>(state.range(0)),
+                static_cast<MemoryModel>(state.range(1)),
+                static_cast<std::uint64_t>(state.range(2))};
+  WriteAllOutcome out;
+  for (auto _ : state) {
+    const double secs = bench::median_seconds([&] {
+      out = run_row(row);
+      benchmark::DoNotOptimize(out.run.tally.completed_work);
+    });
+    state.SetIterationTime(secs);
+  }
+  if (!out.solved) state.SkipWithError("postcondition failed");
+  bench::report(state, out.run.tally, kN);
+  state.counters["persists"] =
+      static_cast<double>(out.run.tally.persists);
+  state.SetLabel(std::string(to_string(row.algo)) + "/" + row_label(row));
+}
+
+void register_row(const Row& row) {
+  const std::string name = "E20/" + std::string(to_string(row.algo)) + "/" +
+                           row_label(row) + "/n:" + std::to_string(kN) +
+                           "/p:" + std::to_string(kP);
+  benchmark::RegisterBenchmark(name.c_str(), BM_Model)
+      ->Args({static_cast<long>(row.algo), static_cast<long>(row.model),
+              static_cast<long>(row.knob)})
+      ->Iterations(1)
+      ->UseManualTime();
+}
+
+void register_benches() {
+  for (WriteAllAlgo algo : kAlgos) {
+    register_row({algo, MemoryModel::kReliable, 0});
+    register_row({algo, MemoryModel::kFaultyCells, 256});
+    register_row({algo, MemoryModel::kPersistentCache, 1});
+    register_row({algo, MemoryModel::kPersistentCache, 16});
+  }
+}
+
+void print_faulty_report() {
+  Table table({"algorithm", "S", "faults", "reliable ms", "faulty ms",
+               "faulty/rel", "tally"});
+  for (WriteAllAlgo algo : kAlgos) {
+    WriteAllOutcome reliable;
+    const double reliable_ms = 1e3 * bench::median_seconds([&] {
+      reliable = run_row({algo, MemoryModel::kReliable, 0});
+    });
+    for (const std::uint64_t cells : {16ull, 256ull, 4096ull}) {
+      WriteAllOutcome faulty;
+      const double faulty_ms = 1e3 * bench::median_seconds([&] {
+        faulty = run_row({algo, MemoryModel::kFaultyCells, cells});
+      });
+      table.add_row({std::string(to_string(algo)),
+                     fmt_int(faulty.run.tally.completed_work),
+                     fmt_int(cells), fmt_fixed(reliable_ms, 1),
+                     fmt_fixed(faulty_ms, 1),
+                     fmt_fixed(faulty_ms / reliable_ms, 2),
+                     faulty.run.tally == reliable.run.tally ? "= reliable"
+                                                            : "MISMATCH"});
+    }
+  }
+  bench::print_table(
+      "E20a: faulty cells, remapped (auto spares) — translation cost only "
+      "(burst adversary, N = 2^14, P = 256)",
+      table);
+
+  // The cliff: one stuck cell past the spare budget and the instance is
+  // refused outright (WriteAllOutcome::unsolvable) — there is no run to
+  // time. Probe once so the report documents the behaviour.
+  BurstAdversary adversary(burst_for(WriteAllAlgo::kX));
+  EngineOptions options;
+  options.memory_model = MemoryModel::kFaultyCells;
+  options.faulty_cells = {.seed = 20, .cells = 1, .spares = 0};
+  const WriteAllOutcome cliff = run_writeall(
+      WriteAllAlgo::kX, {.n = kN, .p = kP, .seed = 1}, adversary, options);
+  std::cout << "  spares exhausted (cells=1, spares=0): "
+            << (cliff.unsolvable ? "reported unsolvable, run refused"
+                                 : "UNEXPECTEDLY RAN")
+            << "\n";
+}
+
+void print_cache_report() {
+  Table table({"algorithm", "persist_every", "S", "S/rel", "persists",
+               "slots", "ms", "tally@pe=1"});
+  for (WriteAllAlgo algo : kAlgos) {
+    WriteAllOutcome reliable;
+    bench::median_seconds(
+        [&] { reliable = run_row({algo, MemoryModel::kReliable, 0}); });
+    const double rel_s =
+        static_cast<double>(reliable.run.tally.completed_work);
+    for (const std::uint64_t pe : {1ull, 4ull, 16ull, 64ull}) {
+      WriteAllOutcome out;
+      const double ms = 1e3 * bench::median_seconds([&] {
+        out = run_row({algo, MemoryModel::kPersistentCache, pe});
+      });
+      WorkTally masked = out.run.tally;
+      masked.persists = reliable.run.tally.persists;
+      const bool gated = masked == reliable.run.tally;
+      table.add_row(
+          {std::string(to_string(algo)), fmt_int(pe),
+           fmt_int(out.run.tally.completed_work),
+           fmt_fixed(static_cast<double>(out.run.tally.completed_work) /
+                         rel_s,
+                     3),
+           fmt_int(out.run.tally.persists), fmt_int(out.run.tally.slots),
+           fmt_fixed(ms, 1),
+           pe == 1 ? (gated ? "= reliable" : "MISMATCH") : ""});
+    }
+  }
+  bench::print_table(
+      "E20b: persistent-cache amnesia — completed work vs persist cadence "
+      "(burst adversary, N = 2^14, P = 256)",
+      table);
+}
+
+}  // namespace
+}  // namespace rfsp
+
+int main(int argc, char** argv) {
+  rfsp::print_faulty_report();
+  rfsp::print_cache_report();
+  rfsp::register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -68,7 +68,18 @@ using namespace rfsp;
                "                  simulation program publishes no kernels yet\n"
                "                  so the engine falls back to the interpreter\n"
                "  --tree-order O  heap|veb storage order of the inner\n"
-               "                  Write-All trees (default heap)\n";
+               "                  Write-All trees (default heap)\n"
+               "  --memory-model M  reliable|faulty-cells|persistent-cache\n"
+               "                  backend of the physical machine's shared\n"
+               "                  memory (default reliable); checkpoints\n"
+               "                  stamp the model and --resume refuses a\n"
+               "                  contradicting flag\n"
+               "  --fault-seed S  faulty-cells: stuck-cell seed\n"
+               "  --fault-cells K faulty-cells: number of stuck cells\n"
+               "  --fault-spares K  faulty-cells: remap spares (default =\n"
+               "                  fault-cells)\n"
+               "  --persist-every K  persistent-cache: flush cadence in\n"
+               "                  completed cycles (default 1; 0 = explicit)\n";
   std::exit(2);
 }
 
@@ -116,6 +127,11 @@ int main(int argc, char** argv) {
   const std::string audit_out = take("audit-out", "");
   const bool batch_on = take("batch", "0") != "0";
   std::string tree_order_name = take("tree-order", "");
+  std::string memory_model_name = take("memory-model", "");
+  std::string fault_seed_s = take("fault-seed", "");
+  std::string fault_cells_s = take("fault-cells", "");
+  std::string fault_spares_s = take("fault-spares", "");
+  std::string persist_every_s = take("persist-every", "");
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
   if (checkpoint_every > 0 && checkpoint_file.empty()) {
     usage("--checkpoint-every needs --checkpoint FILE");
@@ -144,21 +160,43 @@ int main(int argc, char** argv) {
       return 5;
     }
     resume_ptr = &resume_cp;
-    if (const auto it = resume_cp.meta.find("tree_order");
-        it != resume_cp.meta.end()) {
-      if (tree_order_name.empty()) {
-        tree_order_name = it->second;
-      } else if (tree_order_name != it->second) {
-        usage("checkpoint was taken under --tree-order " + it->second +
-              "; its memory image resumes only under the same order");
+    const auto meta_default = [&](std::string& value, const char* flag,
+                                  const char* key) {
+      const auto it = resume_cp.meta.find(key);
+      if (it == resume_cp.meta.end()) return;
+      if (value.empty()) {
+        value = it->second;
+      } else if (value != it->second) {
+        usage("checkpoint was taken under --" + std::string(flag) + " " +
+              it->second + "; it resumes only under the same value");
       }
-    }
+    };
+    meta_default(tree_order_name, "tree-order", "tree_order");
+    meta_default(memory_model_name, "memory-model", "memory_model");
+    meta_default(fault_seed_s, "fault-seed", "fault_seed");
+    meta_default(fault_cells_s, "fault-cells", "fault_cells");
+    meta_default(fault_spares_s, "fault-spares", "fault_spares");
+    meta_default(persist_every_s, "persist-every", "persist_every");
   }
   if (tree_order_name.empty()) tree_order_name = "heap";
 
   TreeOrder tree_order = TreeOrder::kHeap;
+  MemoryModel memory_model = MemoryModel::kReliable;
+  FaultyCellsOptions faulty_cells;
+  PersistentCacheOptions persistent_cache;
   try {
     tree_order = tree_order_from_string(tree_order_name);
+    if (!memory_model_name.empty()) {
+      memory_model = memory_model_from_string(memory_model_name);
+    }
+    if (!fault_seed_s.empty()) faulty_cells.seed = std::stoull(fault_seed_s);
+    if (!fault_cells_s.empty()) faulty_cells.cells = std::stoull(fault_cells_s);
+    if (!fault_spares_s.empty()) {
+      faulty_cells.spares = std::stoull(fault_spares_s);
+    }
+    if (!persist_every_s.empty()) {
+      persistent_cache.persist_every = std::stoull(persist_every_s);
+    }
   } catch (const std::exception& e) {
     usage(e.what());
   }
@@ -266,6 +304,9 @@ int main(int argc, char** argv) {
     SimOptions sim_options{.physical_processors = p, .inner = inner};
     sim_options.batch = batch_on;
     sim_options.tree_order = tree_order;
+    sim_options.memory_model = memory_model;
+    sim_options.faulty_cells = faulty_cells;
+    sim_options.persistent_cache = persistent_cache;
     sim_options.sink = sink.get();
     if (!metrics_out.empty()) sim_options.metrics = &metrics;
     if (checkpoint_every > 0) {
@@ -273,6 +314,22 @@ int main(int argc, char** argv) {
       sim_options.on_checkpoint = [&](const EngineCheckpoint& cp) {
         EngineCheckpoint stamped_cp = cp;
         stamped_cp.meta["tree_order"] = std::string(to_string(tree_order));
+        if (memory_model != MemoryModel::kReliable) {
+          stamped_cp.meta["memory_model"] =
+              std::string(to_string(memory_model));
+        }
+        if (memory_model == MemoryModel::kFaultyCells) {
+          stamped_cp.meta["fault_seed"] = std::to_string(faulty_cells.seed);
+          stamped_cp.meta["fault_cells"] = std::to_string(faulty_cells.cells);
+          if (faulty_cells.spares != kSparesAuto) {
+            stamped_cp.meta["fault_spares"] =
+                std::to_string(faulty_cells.spares);
+          }
+        }
+        if (memory_model == MemoryModel::kPersistentCache) {
+          stamped_cp.meta["persist_every"] =
+              std::to_string(persistent_cache.persist_every);
+        }
         save_checkpoint(stamped_cp, checkpoint_file);
       };
     }
@@ -308,6 +365,20 @@ int main(int argc, char** argv) {
       recorded.meta["p"] = std::to_string(p);
       recorded.meta["inner"] = inner_name;
       recorded.meta["seed"] = std::to_string(seed);
+      if (memory_model != MemoryModel::kReliable) {
+        recorded.meta["memory_model"] = std::string(to_string(memory_model));
+      }
+      if (memory_model == MemoryModel::kFaultyCells) {
+        recorded.meta["fault_seed"] = std::to_string(faulty_cells.seed);
+        recorded.meta["fault_cells"] = std::to_string(faulty_cells.cells);
+        if (faulty_cells.spares != kSparesAuto) {
+          recorded.meta["fault_spares"] = std::to_string(faulty_cells.spares);
+        }
+      }
+      if (memory_model == MemoryModel::kPersistentCache) {
+        recorded.meta["persist_every"] =
+            std::to_string(persistent_cache.persist_every);
+      }
       recorded.meta["status"] = correct ? "solved" : "unsolved";
       save_schedule(recorded, record_file);
       std::cout << "schedule saved to " << record_file << " ("

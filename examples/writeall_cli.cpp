@@ -103,6 +103,19 @@ using namespace rfsp;
       "                     tallies/traces/patterns are identical; checkpoints\n"
       "                     record their order — --resume restores it and\n"
       "                     refuses a contradicting flag)\n"
+      "  --memory-model M   reliable|faulty-cells|persistent-cache shared-\n"
+      "                     memory backend (default reliable; docs/\n"
+      "                     fault-models.md). Recorded schedules and\n"
+      "                     checkpoints stamp the model — --replay/--resume\n"
+      "                     restore it and refuse a contradicting flag\n"
+      "  --fault-seed S     faulty-cells: seed of the static stuck-cell set\n"
+      "  --fault-cells K    faulty-cells: number of stuck cells (default 0)\n"
+      "  --fault-spares K   faulty-cells: spare cells for remapping\n"
+      "                     (default = fault-cells, masking every fault;\n"
+      "                     fewer than needed => the run is unsolvable)\n"
+      "  --persist-every K  persistent-cache: flush each processor's write-\n"
+      "                     back cache every K completed cycles (default 1 =\n"
+      "                     reliable-equivalent; 0 = only persist()/halt)\n"
       "  --cycle-threads K  parallel cycle execution with K workers (1)\n"
       "  --audit 1          run the model-conformance auditor (budgets,\n"
       "                     phase order, write agreement, amnesia twins,\n"
@@ -198,6 +211,14 @@ int main(int argc, char** argv) {
   const bool batch_on = take("batch", "0") != "0";
   std::string tree_order_name =
       take("tree-order", meta_or("tree_order", ""));
+  // Memory-model flags start empty: a recorded schedule's or a resumed
+  // checkpoint's meta supplies the value, and an explicit flag that
+  // contradicts the meta is a usage error (same contract as --tree-order).
+  std::string memory_model_name = take("memory-model", "");
+  std::string fault_seed_s = take("fault-seed", "");
+  std::string fault_cells_s = take("fault-cells", "");
+  std::string fault_spares_s = take("fault-spares", "");
+  std::string persist_every_s = take("persist-every", "");
   const std::size_t cycle_threads = std::stoull(take("cycle-threads", "1"));
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
@@ -244,6 +265,32 @@ int main(int argc, char** argv) {
   }
   if (tree_order_name.empty()) tree_order_name = "heap";
 
+  // Reconcile the memory-model flags against the replay schedule's and the
+  // resume checkpoint's meta: the meta supplies missing values (the run is
+  // semantically tied to its model), a contradicting flag is refused.
+  const auto reconcile = [](std::string& value, const char* flag,
+                            const std::map<std::string, std::string>& meta,
+                            const char* key, const char* source) {
+    const auto it = meta.find(key);
+    if (it == meta.end()) return;
+    if (value.empty()) {
+      value = it->second;
+    } else if (value != it->second) {
+      usage(std::string(source) + " was produced under --" + flag + " " +
+            it->second + "; it replays/resumes only under the same value");
+    }
+  };
+  const auto reconcile_all = [&](const std::map<std::string, std::string>& meta,
+                                 const char* source) {
+    reconcile(memory_model_name, "memory-model", meta, "memory_model", source);
+    reconcile(fault_seed_s, "fault-seed", meta, "fault_seed", source);
+    reconcile(fault_cells_s, "fault-cells", meta, "fault_cells", source);
+    reconcile(fault_spares_s, "fault-spares", meta, "fault_spares", source);
+    reconcile(persist_every_s, "persist-every", meta, "persist_every", source);
+  };
+  if (have_replay) reconcile_all(replay_schedule.meta, "the replay schedule");
+  if (resume_ptr != nullptr) reconcile_all(resume_cp.meta, "the checkpoint");
+
   const auto algos = algo_names();
   const auto algo_it = algos.find(algo_name);
   if (algo_it == algos.end()) usage("unknown algorithm " + algo_name);
@@ -251,6 +298,24 @@ int main(int argc, char** argv) {
   TreeOrder tree_order = TreeOrder::kHeap;
   try {
     tree_order = tree_order_from_string(tree_order_name);
+  } catch (const std::exception& e) {
+    usage(e.what());
+  }
+  MemoryModel memory_model = MemoryModel::kReliable;
+  FaultyCellsOptions faulty_cells;
+  PersistentCacheOptions persistent_cache;
+  try {
+    if (!memory_model_name.empty()) {
+      memory_model = memory_model_from_string(memory_model_name);
+    }
+    if (!fault_seed_s.empty()) faulty_cells.seed = std::stoull(fault_seed_s);
+    if (!fault_cells_s.empty()) faulty_cells.cells = std::stoull(fault_cells_s);
+    if (!fault_spares_s.empty()) {
+      faulty_cells.spares = std::stoull(fault_spares_s);
+    }
+    if (!persist_every_s.empty()) {
+      persistent_cache.persist_every = std::stoull(persist_every_s);
+    }
   } catch (const std::exception& e) {
     usage(e.what());
   }
@@ -318,6 +383,9 @@ int main(int argc, char** argv) {
     options.bit_atomic_writes = have_replay && schedule_has_torn(replay_schedule);
     options.record_pattern = !pattern_out.empty();
     options.record_trace = !trace_file.empty();
+    options.memory_model = memory_model;
+    options.faulty_cells = faulty_cells;
+    options.persistent_cache = persistent_cache;
 
     ReproSpec spec;
     spec.algo = algo;
@@ -327,6 +395,9 @@ int main(int argc, char** argv) {
     spec.max_slots = max_slots;
     spec.bit_atomic_writes = options.bit_atomic_writes;
     spec.tree_order = tree_order;
+    spec.memory_model = memory_model;
+    spec.faulty_cells = faulty_cells;
+    spec.persistent_cache = persistent_cache;
 
     // Saves the recorded schedule stamped with its observed outcome; on a
     // violation the offending decision is already in `recorded`.
@@ -358,6 +429,22 @@ int main(int argc, char** argv) {
         }
         EngineCheckpoint stamped_cp = cp;
         stamped_cp.meta["tree_order"] = std::string(to_string(tree_order));
+        if (memory_model != MemoryModel::kReliable) {
+          stamped_cp.meta["memory_model"] =
+              std::string(to_string(memory_model));
+        }
+        if (memory_model == MemoryModel::kFaultyCells) {
+          stamped_cp.meta["fault_seed"] = std::to_string(faulty_cells.seed);
+          stamped_cp.meta["fault_cells"] = std::to_string(faulty_cells.cells);
+          if (faulty_cells.spares != kSparesAuto) {
+            stamped_cp.meta["fault_spares"] =
+                std::to_string(faulty_cells.spares);
+          }
+        }
+        if (memory_model == MemoryModel::kPersistentCache) {
+          stamped_cp.meta["persist_every"] =
+              std::to_string(persistent_cache.persist_every);
+        }
         save_checkpoint(stamped_cp, checkpoint_file);
         last_saved_slot = cp.slot;
         have_saved_checkpoint = true;
@@ -423,6 +510,19 @@ int main(int argc, char** argv) {
                               ProbeStatus::kAdversaryViolation);
     }
 
+    if (out.unsolvable) {
+      std::cout << "algorithm        " << to_string(algo) << "\n"
+                << "N / P            " << n << " / " << p << "\n"
+                << "solved           NO (unsolvable: " << faulty_cells.cells
+                << " stuck cells exceed the remap capacity of "
+                << (faulty_cells.spares == kSparesAuto
+                        ? faulty_cells.cells
+                        : faulty_cells.spares)
+                << " spares)\n";
+      dump_recording(ProbeStatus::kUnsolved, "unsolvable fault density");
+      return 1;
+    }
+
     const auto& t = out.run.tally;
     std::cout << "algorithm        " << to_string(algo) << "\n"
               << "N / P            " << n << " / " << p << "\n"
@@ -435,6 +535,9 @@ int main(int argc, char** argv) {
               << t.failures << " failures, " << t.restarts << " restarts)\n"
               << "parallel time    " << t.slots << " update cycles\n"
               << "overhead sigma   " << t.overhead_ratio(n) << "\n";
+    if (memory_model == MemoryModel::kPersistentCache) {
+      std::cout << "persists         " << t.persists << " cache flushes\n";
+    }
 
     dump_recording(out.solved ? ProbeStatus::kSolved : ProbeStatus::kUnsolved,
                    "");

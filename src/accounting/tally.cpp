@@ -37,6 +37,7 @@ void WorkTally::merge(const WorkTally& other) {
   slots += other.slots;
   halted += other.halted;
   peak_live = std::max(peak_live, other.peak_live);
+  persists += other.persists;
 }
 
 }  // namespace rfsp

@@ -23,6 +23,7 @@ struct WorkTally {
   std::uint64_t slots = 0;           // parallel time (update-cycle slots)
   std::uint64_t halted = 0;          // processors that finished voluntarily
   std::uint64_t peak_live = 0;       // max live processors in any slot
+  std::uint64_t persists = 0;        // cache flushes (persistent-cache only)
 
   // |F| — the size of the failure pattern (Definition 2.1 counts both
   // failure and restart triples).

@@ -69,6 +69,10 @@ std::string diff_cycles(const CycleTrace& real, const CycleTrace& twin) {
     return real.halting ? "processor halted, twin did not"
                         : "twin halted, processor did not";
   }
+  if (real.persist != twin.persist) {
+    return real.persist ? "processor requested persist(), twin did not"
+                        : "twin requested persist(), processor did not";
+  }
   return {};
 }
 
@@ -101,6 +105,12 @@ void Auditor::on_run_begin(const Program& program,
   report_.read_budget = read_budget_;
   report_.write_budget = write_budget_;
   cycles_.assign(program.processors(), PidCycle{});
+}
+
+void Auditor::on_memory_backend(const std::vector<ProcCache>* caches,
+                                const CellFaultMap* faults) {
+  caches_ = caches;
+  fault_map_ = faults;
 }
 
 void Auditor::on_slot_begin(Slot slot) {
@@ -136,11 +146,22 @@ void Auditor::on_read(Pid pid, Addr addr) {
 }
 
 void Auditor::on_write(Pid pid, Addr addr, Word value) {
-  (void)addr;
-  (void)value;
   PidCycle& c = cycle_state(pid);
   ++c.writes;
   c.wrote = true;
+  if (options_.dead_writes && fault_map_ != nullptr &&
+      fault_map_->is_dead(addr)) {
+    AuditContext ctx;
+    ctx.slot = static_cast<std::int64_t>(slot_);
+    ctx.cell = static_cast<std::int64_t>(addr);
+    ctx.pids = {pid};
+    ctx.values = {value};
+    add(AuditCheck::kDeadWrite,
+        "write to a dead shared cell is silently dropped (faulty-cells "
+        "memory model) — a fault-aware algorithm should route around the "
+        "fault metadata",
+        std::move(ctx));
+  }
   if (!options_.budgets) return;
   if (c.writes > write_budget_ && !c.flagged_writes) {
     c.flagged_writes = true;
@@ -267,8 +288,16 @@ void Auditor::run_twins(const SharedMemory& mem, Slot slot,
     // (null hook).
     CycleTrace scratch;
     scratch.reset_for_cycle(/*log_reads=*/true);
+    // Under the persistent-cache model the twin reads through the *real*
+    // processor's write-back cache: both must see the same memory view, or
+    // every cached algorithm would false-positive as amnesiac. The engine
+    // calls on_cycles_done before this slot's commit mutates the caches, so
+    // the view is exactly what the real cycle read.
+    const ProcCache* cache =
+        caches_ != nullptr ? &(*caches_)[pid] : nullptr;
     CycleContext ctx(mem, scratch, pid, slot, kReadCap, kWriteCap,
-                     snapshot_allowed_, /*log_reads=*/true, nullptr);
+                     snapshot_allowed_, /*log_reads=*/true, nullptr, cache,
+                     /*persist_allowed=*/caches_ != nullptr);
     std::string divergence;
     try {
       scratch.halting = !it->second->cycle(ctx);

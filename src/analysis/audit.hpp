@@ -44,6 +44,8 @@ struct AuditOptions {
   bool write_agreement = true;  // COMMON/WEAK agreement across started cycles
   bool amnesia = true;          // restart twins
   bool fingerprint = true;      // per-cycle fingerprints for obliviousness
+  bool dead_writes = true;      // faulty-cells model: flag writes to dead
+                                // cells (silently dropped by the memory)
   // Stored-violation cap; AuditReport::counts keeps the true totals past it.
   std::size_t max_violations = 64;
   // Fingerprint storage cap; past it AuditReport::fingerprints_truncated is
@@ -70,6 +72,8 @@ class Auditor final : public EngineAuditHook {
   // --- EngineAuditHook -------------------------------------------------------
   void on_run_begin(const Program& program,
                     const EngineOptions& options) override;
+  void on_memory_backend(const std::vector<ProcCache>* caches,
+                         const CellFaultMap* faults) override;
   void on_slot_begin(Slot slot) override;
   void on_read(Pid pid, Addr addr) override;
   void on_write(Pid pid, Addr addr, Word value) override;
@@ -121,6 +125,13 @@ class Auditor final : public EngineAuditHook {
   bool snapshot_allowed_ = false;
   std::size_t read_budget_ = 0;
   std::size_t write_budget_ = 0;
+
+  // Memory-model backend views (engine-owned, set via on_memory_backend;
+  // null under the reliable model). The fault map is live — it reflects
+  // adversary injections as they land — so the dead-write check naturally
+  // covers both static and injected faults.
+  const std::vector<ProcCache>* caches_ = nullptr;
+  const CellFaultMap* fault_map_ = nullptr;
 
   Slot slot_ = 0;
   std::vector<PidCycle> cycles_;

@@ -15,6 +15,7 @@ std::string_view to_string(AuditCheck check) {
     case AuditCheck::kAmnesia: return "amnesia";
     case AuditCheck::kWriteAgreement: return "write-agreement";
     case AuditCheck::kOblivious: return "oblivious";
+    case AuditCheck::kDeadWrite: return "dead-write";
   }
   return "?";
 }

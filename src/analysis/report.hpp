@@ -35,8 +35,11 @@ enum class AuditCheck : std::uint8_t {
                     // checked across *all* started cycles, aborted included
   kOblivious,       // the address/value trace changed between a recorded
                     // run and its bit-exact replay: hidden nondeterminism
+  kDeadWrite,       // a cycle wrote to a dead shared cell (faulty-cells
+                    // memory model) — the write is silently dropped, so a
+                    // fault-aware algorithm should have routed around it
 };
-inline constexpr std::size_t kAuditCheckCount = 6;
+inline constexpr std::size_t kAuditCheckCount = 7;
 
 std::string_view to_string(AuditCheck check);
 

@@ -56,10 +56,21 @@ struct FaultDecision {
   // Bit-granular mid-write failures (bit-atomic mode only). The listed
   // processors are failed like fail_mid_cycle, but with partial commits.
   std::vector<TornWrite> torn;
+  // Memory-model moves (pram/faults.hpp; docs/fault-models.md).
+  // Faulty-cells mode only: shared cells that die at the end of this slot
+  // (after the commit) — reads return seeded garbage, writes are dropped,
+  // and no remapping rescues them. Duplicate or already-dead cells are
+  // no-ops, so adversaries need no view of the fault map.
+  std::vector<Addr> cell_faults;
+  // Persistent-cache mode only: live processors whose un-persisted
+  // write-back cache is discarded at the end of this slot (after any
+  // persist this slot's commit performed) without failing the processor.
+  std::vector<Pid> cache_drop;
 
   bool empty() const {
     return fail_mid_cycle.empty() && fail_after_cycle.empty() &&
-           restart.empty() && torn.empty();
+           restart.empty() && torn.empty() && cell_faults.empty() &&
+           cache_drop.empty();
   }
 
   friend bool operator==(const FaultDecision&, const FaultDecision&) = default;

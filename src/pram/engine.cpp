@@ -20,11 +20,12 @@ namespace rfsp {
 CycleContext::CycleContext(const SharedMemory& mem, CycleTrace& trace,
                            Pid pid, Slot slot, std::size_t read_budget,
                            std::size_t write_budget, bool snapshot_allowed,
-                           bool log_reads, CycleAuditHook* audit)
+                           bool log_reads, CycleAuditHook* audit,
+                           const ProcCache* cache, bool persist_allowed)
     : mem_(mem), trace_(trace), pid_(pid), slot_(slot),
       read_budget_(read_budget), write_budget_(write_budget),
       snapshot_allowed_(snapshot_allowed), log_reads_(log_reads),
-      audit_(audit) {}
+      audit_(audit), cache_(cache), persist_allowed_(persist_allowed) {}
 
 namespace {
 ViolationContext cycle_ctx(Slot slot, Pid pid, const char* move) {
@@ -64,6 +65,16 @@ std::span<const Word> CycleContext::snapshot() {
   trace_.used_snapshot = true;
   if (audit_ != nullptr) audit_->on_snapshot(pid_);
   return mem_.words();
+}
+
+void CycleContext::persist() {
+  if (!persist_allowed_) {
+    throw ModelViolation(
+        "persist() requires the persistent-cache memory model "
+        "(EngineOptions::memory_model)",
+        cycle_ctx(slot_, pid_, "persist"));
+  }
+  trace_.persist = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -213,12 +224,31 @@ struct Engine::CyclePool {
 // Engine
 
 Engine::Engine(const Program& program, EngineOptions options)
-    : program_(program), options_(options), mem_(program.memory_size()) {
+    : program_(program), options_(options),
+      fault_map_(options_.memory_model == MemoryModel::kFaultyCells
+                     ? std::make_unique<CellFaultMap>(CellFaultMap::build(
+                           options_.faulty_cells, program.memory_size()))
+                     : nullptr),
+      mem_(program.memory_size(), fault_map_.get()) {
   const Pid p = program_.processors();
   if (p == 0) throw ConfigError("program declares zero processors");
   if (options_.read_budget == 0 || options_.read_budget > kReadCap ||
       options_.write_budget == 0 || options_.write_budget > kWriteCap) {
     throw ConfigError("per-cycle budgets out of range");
+  }
+  if (options_.memory_model != MemoryModel::kReliable &&
+      options_.unit_cost_snapshot) {
+    throw ConfigError(
+        "unit_cost_snapshot requires the reliable memory model (a flat "
+        "snapshot cannot show remapped or cached cells)");
+  }
+  if (options_.memory_model == MemoryModel::kPersistentCache) {
+    if (options_.bit_atomic_writes) {
+      throw ConfigError(
+          "bit_atomic_writes is incompatible with the persistent-cache "
+          "memory model (a cached write has no bit-granular commit to tear)");
+    }
+    caches_.resize(p);
   }
   // The lane logs store 32-bit cell addresses (pram/soa.hpp PendingWrite).
   RFSP_CHECK_MSG(mem_.size() <= UINT32_MAX,
@@ -258,6 +288,10 @@ Engine::Engine(const Program& program, EngineOptions options)
     }
     log_reads_ = true;  // the auditor needs the address traces
     audit_->on_run_begin(program_, options_);
+    if (options_.memory_model != MemoryModel::kReliable) {
+      audit_->on_memory_backend(caches_.empty() ? nullptr : &caches_,
+                                fault_map_.get());
+    }
   }
 
   // Batched SoA backend: active only when nothing demands per-op hooks.
@@ -269,7 +303,11 @@ Engine::Engine(const Program& program, EngineOptions options)
   // (conflict rules are order-symmetric) but not under an order-sensitive
   // discipline, so those fall back as well. Unported programs return
   // nullptr.
+  // Non-reliable memory models force the interpreter as well: kernels read
+  // the flat memory span directly, which cannot show remapped cells or the
+  // per-processor write-back caches.
   if (options_.batch && audit_ == nullptr && !log_reads_ &&
+      options_.memory_model == MemoryModel::kReliable &&
       options_.model != CrcwModel::kArbitrary &&
       options_.model != CrcwModel::kPriority &&
       options_.read_budget >= 4 && options_.write_budget >= 2) {
@@ -330,13 +368,17 @@ bool Engine::goal_met() const {
   return incremental_goal_ ? goal_unsat_ == 0 : program_.goal(mem_);
 }
 
-void Engine::commit_cell(Addr a, Word v) {
+void Engine::commit_cell(Addr a, Word v, Pid pid) {
   if (incremental_goal_ && a >= goal_base_ && a < goal_end_) {
     const bool was = program_.goal_cell_done(a, mem_.read(a));
+    // A dead cell (faulty-cells model) drops the write — the goal counter
+    // must then not move, or it would drift from what goal() re-scans.
+    if (!mem_.write(a, v, pid)) return;
     const bool now = program_.goal_cell_done(a, v);
     if (was != now) goal_unsat_ += was ? 1 : std::uint64_t(-1);
+    return;
   }
-  mem_.write(a, v);
+  mem_.write(a, v, pid);
 }
 
 void Engine::cycle_one(Pid pid, LaneLog& lane) {
@@ -348,7 +390,9 @@ void Engine::cycle_one(Pid pid, LaneLog& lane) {
   CycleContext ctx(mem_, trace, pid, slot_,
                    audit_ != nullptr ? kReadCap : options_.read_budget,
                    audit_ != nullptr ? kWriteCap : options_.write_budget,
-                   options_.unit_cost_snapshot, log_reads_, audit_);
+                   options_.unit_cost_snapshot, log_reads_, audit_,
+                   caches_.empty() ? nullptr : &caches_[pid],
+                   !caches_.empty());
   const bool halting = !states_[pid]->cycle(ctx);
   trace.halting = halting;
   // Mirror the (still cache-hot) outcome into the lane's compact log.
@@ -531,9 +575,40 @@ void Engine::validate_decision(const FaultDecision& d) {
     }
     mark_set(pid, 2);  // restart of an old failure, or fail-then-restart
   }
+  for (const Addr addr : d.cell_faults) {
+    if (options_.memory_model != MemoryModel::kFaultyCells) {
+      throw AdversaryViolation(
+          "cell-fault moves require the faulty-cells memory model",
+          {static_cast<std::int64_t>(slot_), -1, "cell_fault"});
+    }
+    if (addr >= mem_.size()) {
+      throw AdversaryViolation(
+          "cell fault at out-of-range address " + std::to_string(addr),
+          {static_cast<std::int64_t>(slot_), -1, "cell_fault"});
+    }
+  }
+  for (const Pid pid : d.cache_drop) {
+    if (options_.memory_model != MemoryModel::kPersistentCache) {
+      throw AdversaryViolation(
+          "cache-drop moves require the persistent-cache memory model",
+          cycle_ctx(slot_, pid, "cache_drop"));
+    }
+    if (pid >= p) {
+      throw AdversaryViolation("cache drop of out-of-range PID",
+                               cycle_ctx(slot_, pid, "cache_drop"));
+    }
+    if (status_[pid] != ProcStatus::kLive || !traces_[pid].started) {
+      throw AdversaryViolation("cache drop of a processor that is not live",
+                               cycle_ctx(slot_, pid, "cache_drop"));
+    }
+  }
 }
 
 void Engine::commit_writes(const FaultDecision& d) {
+  if (!caches_.empty()) {
+    commit_writes_cached(d);
+    return;
+  }
   // Mark mid-cycle casualties: their buffered writes are discarded. Torn
   // processors are casualties too, but parts of their writes land below.
   // Fault-free slots (the common case) skip the marking entirely.
@@ -573,10 +648,10 @@ void Engine::commit_writes(const FaultDecision& d) {
       }
       stamps[addr] = epoch;
       if (track_goal && addr >= goal_base && addr < goal_end) {
-        commit_cell(addr, op.value);
+        commit_cell(addr, op.value, op.pid);
         continue;
       }
-      mem_.write(addr, op.value);
+      mem_.write(addr, op.value, op.pid);
     }
   }
 
@@ -587,16 +662,68 @@ void Engine::commit_writes(const FaultDecision& d) {
   for (const TornWrite& tear : d.torn) {
     const CycleTrace& trace = traces_[tear.pid];
     for (std::size_t w = 0; w < tear.write_index; ++w) {
-      commit_cell(trace.writes[w].addr, trace.writes[w].value);
+      commit_cell(trace.writes[w].addr, trace.writes[w].value, tear.pid);
     }
     const WriteOp& op = trace.writes[tear.write_index];
     const Word mask = (Word{1} << tear.keep_bits) - 1;
     const Word old = mem_.read(op.addr);
-    commit_cell(op.addr, (old & ~mask) | (op.value & mask));
+    commit_cell(op.addr, (old & ~mask) | (op.value & mask), tear.pid);
   }
 }
 
+void Engine::commit_writes_cached(const FaultDecision& d) {
+  // Persistent-cache model: a completed cycle's writes land in the writer's
+  // private cache, not in shared memory. Caches flush — in ascending PID
+  // order, each in insertion order — for processors that requested
+  // persist(), hit the persist_every cadence, or are halting voluntarily
+  // (a halted processor has no later cycle to persist in; the implicit
+  // flush is what lets unmodified algorithms still publish their final
+  // writes). Un-flushed caches are what failures and cache_drop moves
+  // destroy in apply_transitions.
+  //
+  // No CRCW conflict detection applies to flushes: entries buffered in
+  // different slots are not concurrent in the model sense, so a flush
+  // collision resolves deterministically by flush order (last write wins).
+  // With persist_every == 1 every completed cycle flushes immediately and
+  // a COMMON-disciplined run is observably identical to the reliable model.
+  const bool casualties = !d.fail_mid_cycle.empty();
+  if (casualties) {
+    ++mark_epoch_;
+    for (Pid pid : d.fail_mid_cycle) mark_set(pid, 1);
+  }
+  const std::uint64_t persist_every = options_.persistent_cache.persist_every;
+  for (const Pid pid : live_pids_) {
+    if (casualties && mark_get(pid) != 0) continue;
+    const CycleTrace& trace = traces_[pid];
+    ProcCache& cache = caches_[pid];
+    for (const WriteOp& op : trace.writes) {
+      cache.entries.push_back({op.addr, op.value});
+    }
+    ++cache.unpersisted_cycles;
+    if (trace.persist || trace.halting ||
+        (persist_every > 0 && cache.unpersisted_cycles >= persist_every)) {
+      flush_cache(pid);
+    }
+  }
+}
+
+void Engine::flush_cache(Pid pid) {
+  ProcCache& cache = caches_[pid];
+  for (const CacheEntry& entry : cache.entries) {
+    commit_cell(entry.addr, entry.value, pid);
+  }
+  cache.clear();
+  ++tally_.persists;
+}
+
 void Engine::resolve_write_conflict(Addr addr, Word value, Pid pid) {
+  if (fault_map_ != nullptr && fault_map_->is_dead(addr)) {
+    // The first writer's commit was dropped, so the cell stamp reflects a
+    // write that never landed; comparing later writers against the dead
+    // cell's garbage would fabricate COMMON/WEAK conflicts. Concurrent
+    // writes to a dead cell all vanish identically — no conflict exists.
+    return;
+  }
   switch (options_.model) {
       case CrcwModel::kCommon:
         if (value != mem_.read(addr)) {
@@ -648,6 +775,8 @@ void Engine::apply_transitions(const FaultDecision& d) {
     states_[pid].reset();
     status_[pid] = ProcStatus::kFailed;
     traces_[pid].clear();
+    // Persistent-cache amnesia: un-persisted writes die with the processor.
+    if (!caches_.empty()) caches_[pid].clear();
     mark_set(pid, 1);
   };
   for (Pid pid : d.fail_mid_cycle) fail(pid);
@@ -664,6 +793,9 @@ void Engine::apply_transitions(const FaultDecision& d) {
     states_[pid].reset();
     status_[pid] = ProcStatus::kHalted;
     traces_[pid].clear();
+    // A voluntary halt already flushed its cache in commit_writes_cached
+    // (trace.halting forces the flush); this clear is hygiene only.
+    if (!caches_.empty()) caches_[pid].clear();
     mark_set(pid, 1);
     ++halts;
     ++tally_.halted;
@@ -717,14 +849,39 @@ void Engine::apply_transitions(const FaultDecision& d) {
     std::inplace_merge(live_pids_.begin(), live_pids_.begin() + mid,
                        live_pids_.end());
   }
+
+  // Memory-model moves land last, after the slot's commit (cell_faults kill
+  // cells "at the end of this slot"; cache_drop discards after any persist
+  // this slot performed).
+  if (fault_map_ != nullptr) {
+    for (const Addr addr : d.cell_faults) {
+      // A goal-range cell that dies flips to garbage: keep the incremental
+      // unsatisfied counter honest on both edges.
+      const bool track =
+          incremental_goal_ && addr >= goal_base_ && addr < goal_end_;
+      const bool was = track && program_.goal_cell_done(addr, mem_.read(addr));
+      if (!fault_map_->inject(addr)) continue;  // already dead: no-op
+      if (track) {
+        const bool now = program_.goal_cell_done(addr, mem_.read(addr));
+        if (was != now) goal_unsat_ += was ? 1 : std::uint64_t(-1);
+      }
+    }
+  }
+  for (const Pid pid : d.cache_drop) caches_[pid].clear();
 }
 
 EngineCheckpoint Engine::checkpoint(const Adversary* adversary) const {
   EngineCheckpoint cp;
   cp.slot = slot_;
   cp.tally = tally_;
-  const std::span<const Word> words = mem_.words();
+  // Raw storage, not the program-visible window: under faulty-cells the
+  // remap targets live in the spare cells past memory_size(), and a resumed
+  // run must see them. Reliable runs have no spares, so their checkpoints
+  // are unchanged.
+  const std::span<const Word> words = mem_.storage();
   cp.memory.assign(words.begin(), words.end());
+  cp.caches = caches_;
+  if (fault_map_ != nullptr) cp.injected_faults = fault_map_->injected();
   cp.status = status_;
   cp.states.resize(states_.size());
   for (Pid pid = 0; pid < states_.size(); ++pid) {
@@ -749,13 +906,31 @@ EngineCheckpoint Engine::checkpoint(const Adversary* adversary) const {
 
 void Engine::restore(const EngineCheckpoint& cp, Adversary* adversary) {
   if (ran_) throw ConfigError("Engine::restore must precede Engine::run");
-  if (cp.memory.size() != mem_.size() ||
+  if (cp.memory.size() != mem_.storage_size() ||
       cp.status.size() != status_.size() ||
       cp.states.size() != states_.size()) {
     throw ConfigError("checkpoint shape does not match the program "
-                      "(different N or P?)");
+                      "(different N, P, or memory model?)");
   }
-  for (Addr a = 0; a < cp.memory.size(); ++a) mem_.write(a, cp.memory[a]);
+  mem_.restore_storage(cp.memory);
+  if (!cp.caches.empty()) {
+    if (caches_.size() != cp.caches.size()) {
+      throw ConfigError(
+          "checkpoint carries per-processor caches but the engine is not "
+          "running the persistent-cache memory model");
+    }
+    caches_ = cp.caches;
+  } else {
+    for (ProcCache& cache : caches_) cache.clear();
+  }
+  if (!cp.injected_faults.empty()) {
+    if (fault_map_ == nullptr) {
+      throw ConfigError(
+          "checkpoint carries injected cell faults but the engine is not "
+          "running the faulty-cells memory model");
+    }
+    for (const Addr addr : cp.injected_faults) fault_map_->inject(addr);
+  }
   status_ = cp.status;
   live_pids_.clear();
   for (Pid pid = 0; pid < states_.size(); ++pid) {

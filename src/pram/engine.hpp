@@ -59,6 +59,18 @@ class EngineAuditHook : public CycleAuditHook {
  public:
   virtual void on_run_begin(const Program& program,
                             const EngineOptions& options) = 0;
+  // Memory-model backend state (pram/faults.hpp): called once from the
+  // Engine constructor, after on_run_begin, when a non-reliable model is
+  // active. `caches` points at the live per-processor write-back caches
+  // (persistent-cache model) or is null; `faults` at the engine's cell-
+  // fault map (faulty-cells model) or is null. Both stay valid for the
+  // engine's lifetime. Default: ignore (hooks that predate the backends
+  // keep compiling).
+  virtual void on_memory_backend(const std::vector<ProcCache>* caches,
+                                 const CellFaultMap* faults) {
+    (void)caches;
+    (void)faults;
+  }
   virtual void on_slot_begin(Slot slot) = 0;
   virtual void on_cycles_done(const SharedMemory& mem, Slot slot,
                               std::span<const CycleTrace> traces,
@@ -82,6 +94,15 @@ struct EngineCheckpoint {
   // halted processors have no private memory — §2.1 point 3).
   std::vector<std::optional<std::vector<Word>>> states;
   std::vector<std::uint64_t> adversary;
+
+  // Memory-model backend state (pram/faults.hpp). Empty under the reliable
+  // model, so reliable checkpoints keep their pre-backend serialized form.
+  // `caches`: one per-processor write-back cache per PID (persistent-cache
+  // model). `injected_faults`: cells the adversary killed at run time, in
+  // injection order (faulty-cells model; the static fault set is derived
+  // from the options, not stored).
+  std::vector<ProcCache> caches;
+  std::vector<Addr> injected_faults;
 
   // Free-form context the *saver* attaches (the engine never writes it).
   // The CLIs record config the memory image silently depends on — today
@@ -124,6 +145,24 @@ struct EngineOptions {
   // Detect concurrent reads of one cell within a slot (EREW discipline).
   // Slot-granularity approximation; off by default.
   bool detect_read_conflicts = false;
+
+  // --- Memory-model backend (pram/faults.hpp, docs/fault-models.md) ---------
+
+  // Which shared-memory fault semantics the run uses. kReliable (the
+  // default) is the paper's model and keeps today's inlined hot path —
+  // the other backends cost one predicted test per read/write plus their
+  // commit-path bookkeeping. Non-reliable models force the interpreter
+  // (no batched kernels) and are incompatible with unit_cost_snapshot;
+  // persistent-cache is additionally incompatible with bit_atomic_writes
+  // (a torn write has no defined cache entry to tear).
+  MemoryModel memory_model = MemoryModel::kReliable;
+  // Parameters of the faulty-cells backend (used iff memory_model is
+  // kFaultyCells): the seeded static fault set and the spare-cell budget
+  // the remap planner may absorb faults into.
+  FaultyCellsOptions faulty_cells;
+  // Parameters of the persistent-cache backend (used iff memory_model is
+  // kPersistentCache): the auto-persist cadence.
+  PersistentCacheOptions persistent_cache;
 
   // Record each cycle's read addresses into CycleTrace::reads, where the
   // adversary can inspect them through MachineView. Off by default: the
@@ -307,6 +346,9 @@ class Engine {
   // Final (or current) shared memory, for verification.
   const SharedMemory& memory() const { return mem_; }
 
+  // The faulty-cells fault map (null under the other memory models).
+  const CellFaultMap* fault_map() const { return fault_map_.get(); }
+
   const EngineOptions& options() const { return options_; }
 
   // Whether the batched SoA backend is driving the cycle phase (true iff
@@ -346,9 +388,16 @@ class Engine {
                     std::size_t completed, std::size_t failure_events);
   void validate_decision(const FaultDecision& d);
   void commit_writes(const FaultDecision& d);
+  // Persistent-cache commit path: completed cycles' writes append to the
+  // writer's private cache; caches flush (in PID order) on an explicit
+  // persist() request, the persist_every cadence, or a voluntary halt.
+  void commit_writes_cached(const FaultDecision& d);
+  // Replay one processor's cache into shared memory (insertion order, last
+  // write wins), clear it, and charge WorkTally::persists.
+  void flush_cache(Pid pid);
   void check_read_conflicts() const;
   bool goal_met() const;
-  void commit_cell(Addr a, Word v);  // mem_ write + goal-counter upkeep
+  void commit_cell(Addr a, Word v, Pid pid);  // mem_ write + goal upkeep
   // Cold path of commit_writes: a cell already written this slot — resolve
   // the CRCW conflict against the committed value (first writer won).
   void resolve_write_conflict(Addr addr, Word value, Pid pid);
@@ -367,7 +416,13 @@ class Engine {
 
   const Program& program_;
   EngineOptions options_;
+  // Faulty-cells backend state (null otherwise). Declared before mem_ on
+  // purpose: the memory sizes its spare storage off the map.
+  std::unique_ptr<CellFaultMap> fault_map_;
   SharedMemory mem_;
+  // Persistent-cache backend state: one write-back cache per PID (empty
+  // vector under the other models).
+  std::vector<ProcCache> caches_;
   std::vector<std::unique_ptr<ProcessorState>> states_;
   std::vector<ProcStatus> status_;
   std::vector<CycleTrace> traces_;

@@ -36,6 +36,7 @@ struct CycleTrace {
   bool started = false;        // processor was live and ran `cycle` this slot
   bool halting = false;        // `cycle` returned false (wants to halt)
   bool used_snapshot = false;  // consumed the unit-cost whole-memory read
+  bool persist = false;        // requested a cache flush (persistent-cache)
   // The write log drives the commit, so it is always kept and lives first:
   // the flags plus the write log are the only bytes the engine touches per
   // processor per slot unless read logging is on (EngineOptions::log_reads),
@@ -52,6 +53,7 @@ struct CycleTrace {
     started = true;
     halting = false;
     used_snapshot = false;
+    persist = false;
     writes.clear();
     if (log_reads) reads.clear();
   }
@@ -61,6 +63,7 @@ struct CycleTrace {
     started = false;
     halting = false;
     used_snapshot = false;
+    persist = false;
     writes.clear();
     reads.clear();
   }
@@ -85,12 +88,16 @@ class CycleContext {
   CycleContext(const SharedMemory& mem, CycleTrace& trace, Pid pid, Slot slot,
                std::size_t read_budget, std::size_t write_budget,
                bool snapshot_allowed, bool log_reads,
-               CycleAuditHook* audit = nullptr);
+               CycleAuditHook* audit = nullptr,
+               const ProcCache* cache = nullptr, bool persist_allowed = false);
 
   // Read one shared cell. Throws ModelViolation past the read budget.
   // Inline: one of the two per-operation hot paths of the whole engine.
   // The budget is enforced by a context-local counter so that the shared
   // trace's read log is only written when logging is on.
+  // Under the persistent-cache model the processor's own un-persisted
+  // writes shadow shared memory (write-back semantics); elsewhere the
+  // cache pointer is null and the lookup is one predicted test.
   Word read(Addr a) {
     if (trace_.used_snapshot || reads_used_ >= read_budget_) {
       throw_read_budget();
@@ -98,7 +105,10 @@ class CycleContext {
     ++reads_used_;
     if (log_reads_) trace_.reads.push_back(a);
     if (audit_ != nullptr) audit_->on_read(pid_, a);
-    return mem_.read(a);
+    if (cache_ != nullptr) [[unlikely]] {
+      if (const Word* hit = cache_->find(a)) return *hit;
+    }
+    return mem_.read(a, pid_);
   }
 
   // Buffer one shared write (committed at slot end iff the cycle completes).
@@ -113,6 +123,13 @@ class CycleContext {
   // only; throws ModelViolation unless the engine enabled snapshot mode.
   // Consumes the entire read budget of this cycle.
   std::span<const Word> snapshot();
+
+  // Persistent-cache model only (pram/faults.hpp): request that this
+  // processor's write-back cache — including this cycle's writes — be
+  // flushed to shared memory when the cycle commits. Free within the cycle
+  // (the flush is accounted at commit, WorkTally::persists); throws
+  // ModelViolation under any other memory model.
+  void persist();
 
   // The global synchronous clock (slot index). See file comment.
   Slot slot() const { return slot_; }
@@ -138,6 +155,8 @@ class CycleContext {
   bool snapshot_allowed_;
   bool log_reads_;
   CycleAuditHook* audit_;
+  const ProcCache* cache_;
+  bool persist_allowed_;
 };
 
 // The private side of one processor: its registers and control state.

@@ -50,10 +50,49 @@ std::string checkpoint_to_json(const EngineCheckpoint& cp) {
   json::append_u64(out, cp.tally.halted);
   out += R"(,"peak_live":)";
   json::append_u64(out, cp.tally.peak_live);
+  // New accounting fields ride as optional keys, omitted when zero, so
+  // memory-model-free checkpoints stay byte-identical to the old format.
+  if (cp.tally.persists != 0) {
+    out += R"(,"persists":)";
+    json::append_u64(out, cp.tally.persists);
+  }
   out += '}';
 
   out += R"(,"memory":)";
   append_word_array(out, cp.memory);
+
+  // Memory-model state (pram/faults.hpp), likewise omitted when absent:
+  // "caches" only under the persistent-cache model (the vector is empty
+  // otherwise), "faults" only when the adversary injected cell faults —
+  // keeping the round-trip exact in every model.
+  if (!cp.caches.empty()) {
+    out += R"(,"caches":[)";
+    for (std::size_t i = 0; i < cp.caches.size(); ++i) {
+      if (i != 0) out += ',';
+      const ProcCache& c = cp.caches[i];
+      out += R"({"u":)";
+      json::append_u64(out, c.unpersisted_cycles);
+      out += R"(,"e":[)";
+      for (std::size_t j = 0; j < c.entries.size(); ++j) {
+        if (j != 0) out += ',';
+        out += '[';
+        json::append_u64(out, c.entries[j].addr);
+        out += ',';
+        json::append_i64(out, c.entries[j].value);
+        out += ']';
+      }
+      out += "]}";
+    }
+    out += ']';
+  }
+  if (!cp.injected_faults.empty()) {
+    out += R"(,"faults":[)";
+    for (std::size_t i = 0; i < cp.injected_faults.size(); ++i) {
+      if (i != 0) out += ',';
+      json::append_u64(out, cp.injected_faults[i]);
+    }
+    out += ']';
+  }
 
   out += R"(,"status":[)";
   for (std::size_t i = 0; i < cp.status.size(); ++i) {
@@ -120,8 +159,32 @@ EngineCheckpoint checkpoint_from_json(std::string_view text) {
   cp.tally.slots = tally.at("slots").as_u64();
   cp.tally.halted = tally.at("halted").as_u64();
   cp.tally.peak_live = tally.at("peak_live").as_u64();
+  if (const json::Value* persists = tally.find("persists")) {
+    cp.tally.persists = persists->as_u64();
+  }
 
   cp.memory = read_word_array(v.at("memory"));
+
+  if (const json::Value* caches = v.find("caches")) {
+    for (const json::Value& c : caches->as_array()) {
+      ProcCache cache;
+      cache.unpersisted_cycles = c.at("u").as_u64();
+      for (const json::Value& e : c.at("e").as_array()) {
+        const auto& pair = e.as_array();
+        if (pair.size() != 2) {
+          throw ConfigError("checkpoint cache entry is not an [addr, value]");
+        }
+        cache.entries.push_back({static_cast<Addr>(pair[0].as_u64()),
+                                 pair[1].as_i64()});
+      }
+      cp.caches.push_back(std::move(cache));
+    }
+  }
+  if (const json::Value* faults = v.find("faults")) {
+    for (const json::Value& a : faults->as_array()) {
+      cp.injected_faults.push_back(static_cast<Addr>(a.as_u64()));
+    }
+  }
 
   for (const json::Value& s : v.at("status").as_array()) {
     const std::uint64_t raw = s.as_u64();

@@ -9,8 +9,17 @@
 //    "status":[0,1,2,...],      // 0=live, 1=failed, 2=halted
 //    "states":[[...],null,...], // per-pid private state; null unless live
 //    "adversary":[...],         // opaque Adversary::save_state words
+//    "caches":[{"u":2,"e":[[addr,value],...]},...],
+//                               // per-pid write-back caches; only under the
+//                               // persistent-cache memory model
+//    "faults":[...],            // adversary-injected dead cells; only under
+//                               // faulty-cells with injections
 //    "meta":{"tree_order":"veb"}} // optional saver-attached context; omitted
 //                                 // when empty (old documents parse as-is)
+//
+// The optional keys ("persists" in tally, "caches", "faults", "meta") are
+// omitted when empty/zero, so reliable-model checkpoints stay byte-identical
+// to the pre-fault-model format and old documents parse unchanged.
 //
 // The round-trip is exact (checkpoint_from_json(checkpoint_to_json(cp)) ==
 // cp), which is what makes kill-and-resume bit-identical: the resumed

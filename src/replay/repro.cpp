@@ -83,6 +83,27 @@ ReproSpec spec_from_meta(const FaultSchedule& schedule) {
       it != schedule.meta.end()) {
     spec.tree_order = tree_order_from_string(it->second);
   }
+  if (const auto it = schedule.meta.find("memory_model");
+      it != schedule.meta.end()) {
+    spec.memory_model = memory_model_from_string(it->second);
+  }
+  if (const auto it = schedule.meta.find("fault_seed");
+      it != schedule.meta.end()) {
+    spec.faulty_cells.seed = parse_u64_meta("fault_seed", it->second);
+  }
+  if (const auto it = schedule.meta.find("fault_cells");
+      it != schedule.meta.end()) {
+    spec.faulty_cells.cells = parse_u64_meta("fault_cells", it->second);
+  }
+  if (const auto it = schedule.meta.find("fault_spares");
+      it != schedule.meta.end()) {
+    spec.faulty_cells.spares = parse_u64_meta("fault_spares", it->second);
+  }
+  if (const auto it = schedule.meta.find("persist_every");
+      it != schedule.meta.end()) {
+    spec.persistent_cache.persist_every =
+        parse_u64_meta("persist_every", it->second);
+  }
   return spec;
 }
 
@@ -96,6 +117,22 @@ void write_meta(ReproSpec spec, FaultSchedule& schedule, ProbeStatus expected,
   if (spec.bit_atomic_writes) schedule.meta["bit_atomic"] = "1";
   if (spec.tree_order != TreeOrder::kHeap) {
     schedule.meta["tree_order"] = std::string(to_string(spec.tree_order));
+  }
+  // Memory-model keys follow the tree_order pattern: emitted only away from
+  // the defaults, so reliable-model schedules keep their old meta shape.
+  if (spec.memory_model != MemoryModel::kReliable) {
+    schedule.meta["memory_model"] = std::string(to_string(spec.memory_model));
+  }
+  if (spec.memory_model == MemoryModel::kFaultyCells) {
+    schedule.meta["fault_seed"] = std::to_string(spec.faulty_cells.seed);
+    schedule.meta["fault_cells"] = std::to_string(spec.faulty_cells.cells);
+    if (spec.faulty_cells.spares != kSparesAuto) {
+      schedule.meta["fault_spares"] = std::to_string(spec.faulty_cells.spares);
+    }
+  }
+  if (spec.memory_model == MemoryModel::kPersistentCache) {
+    schedule.meta["persist_every"] =
+        std::to_string(spec.persistent_cache.persist_every);
   }
   schedule.meta["status"] = std::string(to_string(expected));
   if (!note.empty()) schedule.meta["note"] = note;
@@ -115,6 +152,9 @@ ProbeResult probe(const ReproSpec& spec, const FaultSchedule& schedule) {
   // here keeps "replays its own recording" true for bit-level schedules.
   options.bit_atomic_writes =
       spec.bit_atomic_writes || has_torn_moves(schedule);
+  options.memory_model = spec.memory_model;
+  options.faulty_cells = spec.faulty_cells;
+  options.persistent_cache = spec.persistent_cache;
   try {
     const WriteAllOutcome outcome =
         run_writeall(spec.algo, config, replay, options);

@@ -50,6 +50,14 @@ struct ReproSpec {
   // recorded order keeps the reproducer byte-faithful to the original run's
   // memory image, e.g. for checkpoint comparisons.
   TreeOrder tree_order = TreeOrder::kHeap;
+  // Memory model the run used (pram/faults.hpp, docs/fault-models.md).
+  // Unlike tree_order this is semantic, not just layout: replaying a
+  // faulty-cells or persistent-cache schedule under the wrong model either
+  // rejects its moves (AdversaryViolation) or changes the outcome, so the
+  // meta keys below make the reproducer carry its model with it.
+  MemoryModel memory_model = MemoryModel::kReliable;
+  FaultyCellsOptions faulty_cells;          // meaningful under kFaultyCells
+  PersistentCacheOptions persistent_cache;  // under kPersistentCache
 };
 
 // Meta round-trip. spec_from_meta throws ConfigError when "algo"/"n"/"p"

@@ -34,6 +34,30 @@ std::vector<Pid> read_pid_array(const json::Value& entry, const char* key) {
   return out;
 }
 
+void append_addr_array(std::string& out, const char* key,
+                       const std::vector<Addr>& addrs, bool& first) {
+  if (addrs.empty()) return;
+  if (!first) out += ',';
+  first = false;
+  json::append_string(out, key);
+  out += ":[";
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (i != 0) out += ',';
+    json::append_u64(out, addrs[i]);
+  }
+  out += ']';
+}
+
+std::vector<Addr> read_addr_array(const json::Value& entry, const char* key) {
+  std::vector<Addr> out;
+  if (const json::Value* arr = entry.find(key)) {
+    for (const json::Value& v : arr->as_array()) {
+      out.push_back(static_cast<Addr>(v.as_u64()));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t FaultSchedule::move_count() const {
@@ -41,7 +65,8 @@ std::uint64_t FaultSchedule::move_count() const {
   for (const ScheduleEntry& e : entries) {
     count += e.decision.fail_mid_cycle.size() +
              e.decision.fail_after_cycle.size() + e.decision.restart.size() +
-             e.decision.torn.size();
+             e.decision.torn.size() + e.decision.cell_faults.size() +
+             e.decision.cache_drop.size();
   }
   return count;
 }
@@ -86,6 +111,8 @@ std::string schedule_to_jsonl(const FaultSchedule& schedule) {
       }
       moves += ']';
     }
+    append_addr_array(moves, "cells", e.decision.cell_faults, mfirst);
+    append_pid_array(moves, "drop", e.decision.cache_drop, mfirst);
     if (!moves.empty()) {
       out += ',';
       out += moves;
@@ -146,6 +173,8 @@ FaultSchedule schedule_from_jsonl(std::string_view text) {
         entry.decision.torn.push_back(tear);
       }
     }
+    entry.decision.cell_faults = read_addr_array(v, "cells");
+    entry.decision.cache_drop = read_pid_array(v, "drop");
     if (!entry.decision.empty()) schedule.entries.push_back(std::move(entry));
   }
   if (!saw_header) throw ConfigError("empty fault-schedule file");

@@ -13,7 +13,8 @@
 // On-disk format ("rfsp-fault-schedule" JSONL, version 1):
 //   line 1:  {"format":"rfsp-fault-schedule","version":1,"meta":{...}}
 //   line 2+: {"t":12,"mid":[0,3],"after":[7],"restart":[1],
-//             "torn":[{"pid":2,"w":1,"keep":17}]}
+//             "torn":[{"pid":2,"w":1,"keep":17}],
+//             "cells":[5,9],"drop":[4]}
 // with empty move arrays omitted, entries in strictly ascending slot
 // order, and `meta` a flat string-to-string map (algo, n, p, seed, ... —
 // see replay/repro.hpp) that makes the file self-describing.

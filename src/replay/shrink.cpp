@@ -90,9 +90,23 @@ bool stage_moves(FaultSchedule& current, const Pred& still_fails,
       }
     };
 
+    const auto sweep_addrs = [&](std::vector<Addr> FaultDecision::*member) {
+      std::size_t i = 0;
+      while (!removed_entry && !budget.exhausted() &&
+             i < (current.entries[e].decision.*member).size()) {
+        const bool ok = attempt([&](FaultDecision& d) {
+          (d.*member).erase((d.*member).begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        });
+        if (!ok) ++i;
+      }
+    };
+
     sweep_pids(&FaultDecision::fail_mid_cycle);
     if (!removed_entry) sweep_pids(&FaultDecision::fail_after_cycle);
     if (!removed_entry) sweep_pids(&FaultDecision::restart);
+    if (!removed_entry) sweep_addrs(&FaultDecision::cell_faults);
+    if (!removed_entry) sweep_pids(&FaultDecision::cache_drop);
     std::size_t i = 0;
     while (!removed_entry && !budget.exhausted() &&
            i < current.entries[e].decision.torn.size()) {

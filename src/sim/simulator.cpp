@@ -472,6 +472,9 @@ SimResult simulate(const SimProgram& program, Adversary& adversary,
   eopt.checkpoint_every = options.checkpoint_every;
   eopt.on_checkpoint = options.on_checkpoint;
   eopt.audit = options.audit;
+  eopt.memory_model = options.memory_model;
+  eopt.faulty_cells = options.faulty_cells;
+  eopt.persistent_cache = options.persistent_cache;
 
   Engine engine(outer, eopt);
   if (options.resume != nullptr) engine.restore(*options.resume, &adversary);

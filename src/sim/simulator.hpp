@@ -60,6 +60,15 @@ struct SimOptions {
   TraceSink* sink = nullptr;
   MetricsRegistry* metrics = nullptr;
 
+  // Memory-model passthrough (pram/faults.hpp, docs/fault-models.md): the
+  // *physical* machine's shared memory runs under this model — faulty
+  // cells hit the simulator's own structures (scratch logs, phase word,
+  // simulated memory) alike, and the persistent-cache model delays the
+  // executor's commits by its persist cadence.
+  MemoryModel memory_model = MemoryModel::kReliable;
+  FaultyCellsOptions faulty_cells;
+  PersistentCacheOptions persistent_cache;
+
   // Checkpoint passthrough (src/replay, docs/resilience.md): capture an
   // EngineCheckpoint every `checkpoint_every` slots into `on_checkpoint`
   // (0 = off), and/or resume a run from a previously captured checkpoint

@@ -74,6 +74,20 @@ WriteAllOutcome run_writeall(WriteAllAlgo algo, const WriteAllConfig& config,
   if (algo == WriteAllAlgo::kSnapshot) options.unit_cost_snapshot = true;
   const std::unique_ptr<WriteAllProgram> program =
       make_writeall(algo, config);
+  if (options.memory_model == MemoryModel::kFaultyCells && resume == nullptr) {
+    // Solvability gate: with every static fault remapped to a spare the
+    // engine masks the faults completely; an unremapped stuck cell could be
+    // any cell of the layout (input, tree, or scratch), so no Write-All
+    // algorithm can promise the postcondition. Refuse deterministically
+    // rather than time out or "solve" against garbage reads.
+    const CellFaultMap probe_map =
+        CellFaultMap::build(options.faulty_cells, program->memory_size());
+    if (probe_map.unremapped() > 0) {
+      WriteAllOutcome outcome;
+      outcome.unsolvable = true;
+      return outcome;
+    }
+  }
   Engine engine(*program, options);
   if (resume != nullptr) engine.restore(*resume, &adversary);
   WriteAllOutcome outcome;

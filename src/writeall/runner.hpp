@@ -36,6 +36,11 @@ std::unique_ptr<WriteAllProgram> make_writeall(WriteAllAlgo algo,
 struct WriteAllOutcome {
   RunResult run;
   bool solved = false;  // postcondition x[0..n) all visited
+  // Faulty-cells model only: the static fault density exceeded the remap
+  // capacity (CellFaultMap::unremapped() > 0), so some stuck cell has no
+  // spare behind it and no algorithm can guarantee the postcondition. The
+  // run is refused up front: `run` is empty and `solved` is false.
+  bool unsolvable = false;
 };
 
 // Build, run, verify. Sets EngineOptions::unit_cost_snapshot automatically

@@ -99,6 +99,114 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeeds,
                            return "s" + std::to_string(i.param);
                          });
 
+// --- Memory-model sweeps (pram/faults.hpp, docs/fault-models.md) -------------
+//
+// Same fuzzer, non-reliable backends: the chaos adversary additionally
+// plays the model-specific moves (cell_faults / cache_drop). Suite names
+// keep the Chaos prefix so the nightly `ctest -R 'Chaos'` sweep picks them
+// up automatically.
+
+class ChaosFaultyCells : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Static faults are fully remapped (auto spares), but run-time injections
+// are never remapped — a fault landing on an x cell makes the instance
+// unsolvable (or destroys an already-visited cell after the fact), and
+// garbage in a progress-tree cell can convince every processor the root is
+// done (they all halt: deadlock, goal unmet). The contract here is "solve,
+// or stop loudly (slot limit / deadlock), or the recorded schedule proves
+// the adversary struck the x array itself": no violation, no crash, no
+// unexplained wrong answer.
+TEST_P(ChaosFaultyCells, WriteAllSolvesOrStopsLoudly) {
+  const std::uint64_t seed = GetParam();
+  const WriteAllConfig config{.n = 100, .p = 25, .seed = seed};
+  EngineOptions options;
+  options.max_slots = 5000;  // injected faults can preclude the goal
+  options.memory_model = MemoryModel::kFaultyCells;
+  options.faulty_cells = {.seed = seed, .cells = 8};
+  const auto probe_program = make_writeall(WriteAllAlgo::kX, config);
+  const Addr memory_size = probe_program->memory_size();
+  const Addr x_base = probe_program->x_base();
+  ChaosAdversary inner(seed * 151 + 11, /*allow_torn=*/false,
+                       MemoryModel::kFaultyCells, memory_size);
+  FaultSchedule schedule;
+  RecordingAdversary adversary(inner, schedule);
+  ReproSpec spec{.algo = WriteAllAlgo::kX, .n = config.n, .p = config.p,
+                 .seed = seed, .max_slots = options.max_slots};
+  spec.memory_model = options.memory_model;
+  spec.faulty_cells = options.faulty_cells;
+  const std::string tag = "chaos_faulty_cells_s" + std::to_string(seed);
+  try {
+    const auto out = run_writeall(WriteAllAlgo::kX, config, adversary, options);
+    const bool loud = out.run.slot_limit || out.run.deadlock;
+    bool x_struck = false;
+    for (const ScheduleEntry& entry : schedule.entries) {
+      for (const Addr a : entry.decision.cell_faults) {
+        x_struck |= a >= x_base && a < x_base + config.n;
+      }
+    }
+    if (!out.solved && !loud && !x_struck) {
+      record_failure(spec, schedule, ProbeStatus::kUnsolved, tag);
+    }
+    ASSERT_TRUE(out.solved || loud || x_struck) << "seed=" << seed;
+  } catch (const ModelViolation& mv) {
+    record_failure(spec, schedule, ProbeStatus::kModelViolation, tag);
+    FAIL() << "seed=" << seed << ": " << mv.what();
+  } catch (const AdversaryViolation& av) {
+    record_failure(spec, schedule, ProbeStatus::kAdversaryViolation, tag);
+    FAIL() << "seed=" << seed << ": " << av.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFaultyCells,
+                         ::testing::Range<std::uint64_t>(
+                             1, chaos_seed_limit() + 1),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "s" + std::to_string(i.param);
+                         });
+
+class ChaosPersistentCache : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Amnesia only delays progress (dropped caches are re-done work), so under
+// the persistent-cache model X must still solve outright.
+TEST_P(ChaosPersistentCache, WriteAllSurvives) {
+  const std::uint64_t seed = GetParam();
+  const WriteAllConfig config{.n = 100, .p = 25, .seed = seed};
+  EngineOptions options;
+  options.max_slots = 20000;
+  options.memory_model = MemoryModel::kPersistentCache;
+  options.persistent_cache = {.persist_every = 4};
+  ChaosAdversary inner(seed * 163 + 3, /*allow_torn=*/false,
+                       MemoryModel::kPersistentCache, 0);
+  FaultSchedule schedule;
+  RecordingAdversary adversary(inner, schedule);
+  ReproSpec spec{.algo = WriteAllAlgo::kX, .n = config.n, .p = config.p,
+                 .seed = seed, .max_slots = options.max_slots};
+  spec.memory_model = options.memory_model;
+  spec.persistent_cache = options.persistent_cache;
+  const std::string tag = "chaos_persistent_cache_s" + std::to_string(seed);
+  try {
+    const auto out = run_writeall(WriteAllAlgo::kX, config, adversary, options);
+    if (!out.solved) {
+      record_failure(spec, schedule, ProbeStatus::kUnsolved, tag);
+    }
+    ASSERT_TRUE(out.solved) << "seed=" << seed;
+    EXPECT_GT(out.run.tally.persists, 0u);
+  } catch (const ModelViolation& mv) {
+    record_failure(spec, schedule, ProbeStatus::kModelViolation, tag);
+    FAIL() << "seed=" << seed << ": " << mv.what();
+  } catch (const AdversaryViolation& av) {
+    record_failure(spec, schedule, ProbeStatus::kAdversaryViolation, tag);
+    FAIL() << "seed=" << seed << ": " << av.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosPersistentCache,
+                         ::testing::Range<std::uint64_t>(
+                             1, chaos_seed_limit() + 1),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "s" + std::to_string(i.param);
+                         });
+
 TEST(ChaosTorn, XSurvivesTornWritesWithBitSafeFreeStructures) {
   // Algorithm X's shared cells are all single-logical-value writes whose
   // consumers re-validate (positions are re-read, markers are 0/1, done

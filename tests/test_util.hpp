@@ -20,8 +20,11 @@ namespace rfsp::testing {
 // (replay_test); checkpoint-safe via the RNG state hooks.
 class ChaosAdversary final : public Adversary {
  public:
-  ChaosAdversary(std::uint64_t seed, bool allow_torn)
-      : rng_(seed), allow_torn_(allow_torn) {}
+  ChaosAdversary(std::uint64_t seed, bool allow_torn,
+                 MemoryModel memory_model = MemoryModel::kReliable,
+                 Addr memory_size = 0)
+      : rng_(seed), allow_torn_(allow_torn), memory_model_(memory_model),
+        memory_size_(memory_size) {}
 
   std::string_view name() const override { return "chaos"; }
 
@@ -84,6 +87,27 @@ class ChaosAdversary final : public Adversary {
         }
       }
     }
+    // Memory-model moves (pram/faults.hpp): kill a few random shared cells
+    // under faulty-cells (duplicates and already-dead cells are legal
+    // no-ops), drop a started processor's write-back cache under
+    // persistent-cache. Neither interacts with the liveness clamp above.
+    if (memory_model_ == MemoryModel::kFaultyCells && memory_size_ > 0 &&
+        rng_.chance(0.05)) {
+      const std::size_t count = 1 + rng_.below(3);
+      for (std::size_t i = 0; i < count; ++i) {
+        d.cell_faults.push_back(static_cast<Addr>(rng_.below(memory_size_)));
+      }
+    }
+    if (memory_model_ == MemoryModel::kPersistentCache && rng_.chance(0.1)) {
+      for (const Pid pid : started) {
+        if (in(d.fail_mid_cycle, pid) || in(d.fail_after_cycle, pid)) continue;
+        bool torn_victim = false;
+        for (const TornWrite& tear : d.torn) torn_victim |= tear.pid == pid;
+        if (torn_victim) continue;
+        if (!rng_.chance(0.3)) continue;
+        d.cache_drop.push_back(pid);
+      }
+    }
     return d;
   }
 
@@ -97,6 +121,8 @@ class ChaosAdversary final : public Adversary {
  private:
   Rng rng_;
   bool allow_torn_;
+  MemoryModel memory_model_;
+  Addr memory_size_;
 };
 
 // A program whose per-processor behaviour is a lambda (pid, cycle#, ctx) ->
