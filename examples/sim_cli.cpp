@@ -19,6 +19,7 @@
 #include <string>
 
 #include "analysis/oblivious.hpp"
+#include "analysis/static/verify.hpp"
 #include "fault/adversaries.hpp"
 #include "obs/binary_trace.hpp"
 #include "obs/metrics.hpp"
@@ -64,6 +65,10 @@ using namespace rfsp;
                "  --audit 1       run the model-conformance auditor on the\n"
                "                  physical machine; exit 6 on findings\n"
                "  --audit-out F   save the audit report as JSONL\n"
+               "  --static-check 1  statically verify the executor that\n"
+               "                  embeds this workload instead of running\n"
+               "                  it (analysis/static/; exit 0 clean, 6 on\n"
+               "                  findings); verify_cli has the full flags\n"
                "  --batch 1       request the batched SoA backend; the\n"
                "                  simulation program publishes no kernels yet\n"
                "                  so the engine falls back to the interpreter\n"
@@ -125,6 +130,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = take("metrics-out", "");
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
+  const bool static_check = take("static-check", "0") != "0";
   const bool batch_on = take("batch", "0") != "0";
   std::string tree_order_name = take("tree-order", "");
   std::string memory_model_name = take("memory-model", "");
@@ -260,6 +266,25 @@ int main(int argc, char** argv) {
       program = std::make_unique<ChainedProgram>(*owned_a, *owned_b);
     } else {
       usage("unknown program " + name);
+    }
+
+    // --static-check: statically verify the Theorem 4.1 executor that
+    // embeds this workload, instead of running it. The executor's machine
+    // runs 5-read update cycles; its commit pass's COMMON discipline rests
+    // on a cross-task invariant (all scratch logs derive from one simulated
+    // step) outside the per-cell abstract domain, so the agreement shape
+    // check is left to the dynamic auditor here (docs/analysis.md).
+    if (static_check) {
+      const SimLayout layout(*program, p, tree_order);
+      const std::unique_ptr<Program> outer =
+          make_simulation_program(*program, layout, inner);
+      analysis::VerifyOptions vopts;
+      vopts.read_budget = 5;
+      vopts.check_write_agreement = false;
+      const analysis::StaticReport report =
+          analysis::verify_program(*outer, vopts);
+      std::cout << report.to_text();
+      return report.ok() ? 0 : 6;
     }
 
     const DisciplineReport discipline =

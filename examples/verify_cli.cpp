@@ -1,0 +1,356 @@
+// verify_cli — static conformance verification from the command line
+// (docs/analysis.md §"Static verification"). Where writeall_cli --audit
+// watches one run, verify_cli proves the §2.1 cycle contract over every
+// reachable private state of the chosen programs without running them:
+// budgets, phase order, obliviousness claims, COMMON/WEAK write-agreement
+// shape, interpreter/kernel bit-equivalence, bounds, and halt
+// reachability (analysis/static/verify.hpp).
+//
+// Two target families, freely combined:
+//   --algo  LIST   Write-All algorithms (the §3–4 programs);
+//   --sim   LIST   simulated workloads from src/programs/, verified as the
+//                  Theorem 4.1 executor that embeds them (5-read cycles).
+//
+// Exit codes: 0 every report clean, 2 usage, 5 error, 6 findings.
+//
+// Examples:
+//   verify_cli                                    (W,V,X,VX x heap,veb)
+//   verify_cli --algo X --tree-order veb --n 16 --p 8
+//   verify_cli --algo all --report-out static.jsonl
+//   verify_cli --sim all --sim-n 4 --sim-p 3
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/static/verify.hpp"
+#include "programs/chain.hpp"
+#include "programs/programs.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "writeall/runner.hpp"
+
+namespace {
+
+using namespace rfsp;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: verify_cli [options]\n"
+      "  --algo LIST     comma list of Write-All algorithms to verify:\n"
+      "                  trivial|sequential|W|V|X|VX|snapshot|ACC|all\n"
+      "                  (default W,V,X,VX; 'all' is every algorithm)\n"
+      "  --n N           Write-All array size (default 8)\n"
+      "  --p P           processors (default 4)\n"
+      "  --seed S        seed for randomized pieces (default 1)\n"
+      "  --tree-order O  heap|veb|both progress-tree storage order\n"
+      "                  (default both)\n"
+      "  --sim LIST      also verify the Theorem 4.1 executor embedding\n"
+      "                  these src/programs/ workloads: prefix-sum|\n"
+      "                  max-reduce|list-ranking|odd-even-sort|bitonic-sort|\n"
+      "                  stencil|matmul|leader-elect|components|sort-scan|\n"
+      "                  all (default none; the executor runs 5-read cycles\n"
+      "                  so the verified read budget is 5 there)\n"
+      "  --sim-n N       simulated size for --sim (default 4)\n"
+      "  --sim-p P       physical processors for --sim (default 3)\n"
+      "  --inner NAME    VX|X|V executor's embedded Write-All (default VX)\n"
+      "  --slots K       explored slot horizon (default 48)\n"
+      "  --rounds K      feedback-widening round cap (default 10)\n"
+      "  --max-states K  interned-state cap (default 32768)\n"
+      "  --max-paths K   total path cap (default 4194304)\n"
+      "  --arbitrary 0|1 include the arbitrary-garbage read value\n"
+      "                  (default 1)\n"
+      "  --kernels 0|1   interpreter/kernel bit-equivalence (default 1)\n"
+      "  --agreement 0|1 write-agreement shape check (default 1 for --algo\n"
+      "                  targets, 0 for --sim: the executor's commit pass\n"
+      "                  is COMMON only through a cross-task invariant the\n"
+      "                  per-cell domain cannot carry; see docs/analysis.md)\n"
+      "  --halt-check 0|1  require a reachable halting cycle (default 1)\n"
+      "  --report-out F  append every report as JSONL to F\n"
+      "  --quiet 1       one summary line per target instead of the full\n"
+      "                  report (findings always print in full)\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<Word> random_values(std::size_t n, std::uint64_t seed,
+                                Word bound) {
+  Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(bound));
+  return v;
+}
+
+// Build the --sim workload by name (the sim_cli factory, sized down; the
+// verifier only needs the SimProgram, not its result checker). The chain
+// workload is non-owning over its stages, so the bundle keeps them alive.
+struct SimWorkload {
+  std::vector<std::unique_ptr<SimProgram>> owned;
+  const SimProgram* program = nullptr;
+};
+
+SimWorkload make_sim_workload(const std::string& name, Addr n,
+                              std::uint64_t seed) {
+  SimWorkload out;
+  auto adopt = [&](std::unique_ptr<SimProgram> p) {
+    out.program = p.get();
+    out.owned.push_back(std::move(p));
+  };
+  if (name == "prefix-sum") {
+    adopt(std::make_unique<PrefixSumProgram>(random_values(n, seed, 1000)));
+  } else if (name == "max-reduce") {
+    adopt(std::make_unique<MaxReduceProgram>(
+        random_values(n, seed, 1u << 20)));
+  } else if (name == "list-ranking") {
+    std::vector<Pid> next(n);
+    for (Pid j = 0; j + 1 < next.size(); ++j) next[j] = j + 1;
+    next.back() = static_cast<Pid>(next.size() - 1);
+    adopt(std::make_unique<ListRankingProgram>(next));
+  } else if (name == "odd-even-sort") {
+    adopt(std::make_unique<OddEvenSortProgram>(
+        random_values(n, seed, 10000)));
+  } else if (name == "bitonic-sort") {
+    Addr m = 1;
+    while (m * 2 <= n) m *= 2;
+    adopt(std::make_unique<BitonicSortProgram>(
+        random_values(m, seed, 10000)));
+  } else if (name == "stencil") {
+    std::vector<Word> rod(n, 0);
+    rod.front() = 1000;
+    adopt(std::make_unique<StencilProgram>(rod, n / 2 + 4));
+  } else if (name == "matmul") {
+    Addr m = 1;
+    while ((m + 1) * (m + 1) <= n) ++m;
+    adopt(std::make_unique<MatMulProgram>(
+        random_values(m * m, seed, 10), random_values(m * m, seed + 1, 10),
+        static_cast<Pid>(m)));
+  } else if (name == "leader-elect") {
+    adopt(std::make_unique<LeaderElectProgram>(static_cast<Pid>(n)));
+  } else if (name == "components") {
+    Rng rng(seed + 17);
+    std::vector<std::pair<Pid, Pid>> edges;
+    for (Addr e = 0; e < n + n / 5; ++e) {
+      edges.emplace_back(static_cast<Pid>(rng.below(n)),
+                         static_cast<Pid>(rng.below(n)));
+    }
+    adopt(std::make_unique<ConnectedComponentsProgram>(
+        static_cast<Pid>(n), std::move(edges)));
+  } else if (name == "sort-scan") {
+    const auto keys = random_values(n, seed, 1000);
+    out.owned.push_back(std::make_unique<OddEvenSortProgram>(keys));
+    out.owned.push_back(std::make_unique<PrefixSumProgram>(keys));
+    adopt(std::make_unique<ChainedProgram>(*out.owned[0], *out.owned[1]));
+  } else {
+    usage("unknown sim program " + name);
+  }
+  return out;
+}
+
+const std::vector<std::string>& all_sim_workloads() {
+  static const std::vector<std::string> names = {
+      "prefix-sum",    "max-reduce", "list-ranking", "odd-even-sort",
+      "bitonic-sort",  "stencil",    "matmul",       "leader-elect",
+      "components",    "sort-scan"};
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) usage("bad argument " + key);
+    args[key.substr(2)] = argv[++i];
+  }
+  auto take = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    if (it == args.end()) return fallback;
+    std::string value = it->second;
+    args.erase(it);
+    return value;
+  };
+
+  const std::string sim_list = take("sim", "");
+  const std::string algo_list =
+      take("algo", sim_list.empty() ? "W,V,X,VX" : "");
+  const Addr n = std::stoull(take("n", "8"));
+  const Pid p = static_cast<Pid>(std::stoull(take("p", "4")));
+  const std::uint64_t seed = std::stoull(take("seed", "1"));
+  const std::string tree_order_name = take("tree-order", "both");
+  const Addr sim_n = std::stoull(take("sim-n", "4"));
+  const Pid sim_p = static_cast<Pid>(std::stoull(take("sim-p", "3")));
+  const std::string inner_name = take("inner", "VX");
+  const Slot slots = std::stoull(take("slots", "48"));
+  const std::size_t rounds = std::stoull(take("rounds", "10"));
+  const std::size_t max_states = std::stoull(take("max-states", "32768"));
+  const std::size_t max_paths = std::stoull(take("max-paths", "4194304"));
+  const bool arbitrary = take("arbitrary", "1") != "0";
+  const bool kernels = take("kernels", "1") != "0";
+  const std::string agreement_s = take("agreement", "");
+  const bool halt_check = take("halt-check", "1") != "0";
+  const std::string report_out = take("report-out", "");
+  const bool quiet = take("quiet", "0") != "0";
+  if (!args.empty()) usage("unknown option --" + args.begin()->first);
+
+  SimInner inner = SimInner::kCombinedVX;
+  if (inner_name == "X") inner = SimInner::kX;
+  else if (inner_name == "V") inner = SimInner::kV;
+  else if (inner_name != "VX") usage("unknown inner " + inner_name);
+
+  std::vector<TreeOrder> orders;
+  if (tree_order_name == "both") {
+    orders = {TreeOrder::kHeap, TreeOrder::kVeb};
+  } else {
+    try {
+      orders = {tree_order_from_string(tree_order_name)};
+    } catch (const std::exception& e) {
+      usage(e.what());
+    }
+  }
+
+  std::map<std::string, WriteAllAlgo> algo_by_name;
+  for (const WriteAllAlgo algo : all_writeall_algos()) {
+    algo_by_name.emplace(std::string(to_string(algo)), algo);
+  }
+  std::vector<WriteAllAlgo> algos;
+  for (const std::string& name : split_list(algo_list)) {
+    if (name == "all") {
+      algos = all_writeall_algos();
+      break;
+    }
+    const auto it = algo_by_name.find(name);
+    if (it == algo_by_name.end()) usage("unknown algorithm " + name);
+    algos.push_back(it->second);
+  }
+  std::vector<std::string> sims;
+  for (const std::string& name : split_list(sim_list)) {
+    if (name == "all") {
+      sims = all_sim_workloads();
+      break;
+    }
+    sims.push_back(name);
+  }
+  if (algos.empty() && sims.empty()) usage("nothing to verify");
+
+  std::ofstream report_stream;
+  if (!report_out.empty()) {
+    report_stream.open(report_out);
+    if (!report_stream) usage("cannot open " + report_out);
+  }
+
+  auto base_options = [&] {
+    analysis::VerifyOptions options;
+    options.slots = slots;
+    options.max_rounds = rounds;
+    options.max_states = max_states;
+    options.max_total_paths = max_paths;
+    options.arbitrary_reads = arbitrary;
+    options.check_kernels = kernels;
+    options.check_halt_reachability = halt_check;
+    return options;
+  };
+
+  std::uint64_t total_findings = 0;
+  bool any_error = false;
+  auto report_one = [&](const std::string& title, const Program& program,
+                        analysis::VerifyOptions options) {
+    try {
+      const analysis::StaticReport report =
+          analysis::verify_program(program, options);
+      total_findings += report.total();
+      if (!quiet || !report.ok()) {
+        std::cout << "== " << title << " ==\n" << report.to_text();
+      } else {
+        std::cout << "== " << title << " == clean ("
+                  << report.states << " states, " << report.paths
+                  << " paths" << (report.truncated ? ", truncated" : "")
+                  << ")\n";
+      }
+      if (report_stream.is_open()) {
+        report_stream << "{\"e\":\"static-target\",\"target\":\"" << title
+                      << "\"}\n";
+        report.write_jsonl(report_stream);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << title << ": " << e.what() << '\n';
+      any_error = true;
+    }
+  };
+
+  for (const WriteAllAlgo algo : algos) {
+    analysis::VerifyOptions options = base_options();
+    if (algo == WriteAllAlgo::kSnapshot) options.unit_cost_snapshot = true;
+    if (!agreement_s.empty()) {
+      options.check_write_agreement = agreement_s != "0";
+    }
+    for (const TreeOrder order : orders) {
+      const Pid algo_p =
+          algo == WriteAllAlgo::kSequential ? Pid{1} : p;
+      const WriteAllConfig config{.n = n,
+                                  .p = algo_p,
+                                  .seed = seed,
+                                  .layout = {.tree_order = order}};
+      std::unique_ptr<WriteAllProgram> program;
+      try {
+        program = make_writeall(algo, config);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << to_string(algo) << ": " << e.what() << '\n';
+        any_error = true;
+        continue;
+      }
+      std::ostringstream title;
+      title << to_string(algo) << " n=" << n << " p=" << algo_p << " "
+            << to_string(order);
+      report_one(title.str(), *program, options);
+      // The tree layout is model-invisible; single-tree-order algorithms
+      // (trivial, sequential, snapshot, ACC prefix) still verify per order
+      // so a clean matrix really covers both navigations.
+    }
+  }
+
+  for (const std::string& name : sims) {
+    SimWorkload workload;
+    try {
+      workload = make_sim_workload(name, sim_n, seed);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << name << ": " << e.what() << '\n';
+      any_error = true;
+      continue;
+    }
+    analysis::VerifyOptions options = base_options();
+    // The executor's machine runs 5-read update cycles (simulator.hpp).
+    options.read_budget = 5;
+    // The commit pass's COMMON discipline rests on a cross-task invariant
+    // (all scratch logs derive from the same simulated step) that the
+    // per-cell abstract domain cannot express; checking the shape anyway
+    // would report spurious disagreements. Off unless forced.
+    options.check_write_agreement =
+        !agreement_s.empty() && agreement_s != "0";
+    for (const TreeOrder order : orders) {
+      const SimLayout layout(*workload.program, sim_p, order);
+      const std::unique_ptr<Program> program =
+          make_simulation_program(*workload.program, layout, inner);
+      std::ostringstream title;
+      title << "sim:" << name << " n=" << sim_n << " p=" << sim_p
+            << " inner=" << inner_name << " " << to_string(order);
+      report_one(title.str(), *program, options);
+    }
+  }
+
+  if (any_error) return 5;
+  return total_findings == 0 ? 0 : 6;
+}

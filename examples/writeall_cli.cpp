@@ -36,6 +36,7 @@
 #include <string>
 
 #include "analysis/oblivious.hpp"
+#include "analysis/static/verify.hpp"
 #include "fault/adversaries.hpp"
 #include "fault/halving.hpp"
 #include "fault/iteration_killer.hpp"
@@ -120,7 +121,13 @@ using namespace rfsp;
       "  --audit 1          run the model-conformance auditor (budgets,\n"
       "                     phase order, write agreement, amnesia twins,\n"
       "                     record/replay obliviousness); exit 6 on findings\n"
-      "  --audit-out FILE   save the audit report as JSONL (with --audit)\n";
+      "  --audit-out FILE   save the audit report as JSONL (with --audit)\n"
+      "  --static-check 1   statically verify the configured program\n"
+      "                     instead of running it (analysis/static/): prove\n"
+      "                     budgets, phase order, agreement shape, kernel\n"
+      "                     equivalence over every reachable state; print\n"
+      "                     the report and exit 0 clean / 6 on findings.\n"
+      "                     verify_cli exposes the full option set\n";
   std::exit(2);
 }
 
@@ -222,6 +229,7 @@ int main(int argc, char** argv) {
   const std::size_t cycle_threads = std::stoull(take("cycle-threads", "1"));
   const bool audit_on = take("audit", "0") != "0";
   const std::string audit_out = take("audit-out", "");
+  const bool static_check = take("static-check", "0") != "0";
   if (!args.empty()) usage("unknown option --" + args.begin()->first);
   if (!audit_out.empty() && !audit_on) usage("--audit-out needs --audit 1");
   if (audit_on && (!resume_file.empty() || !checkpoint_file.empty() ||
@@ -321,6 +329,25 @@ int main(int argc, char** argv) {
   }
   const WriteAllConfig config{
       .n = n, .p = p, .seed = seed, .layout = {.tree_order = tree_order}};
+
+  // --static-check: prove the cycle contract over the program's reachable
+  // state space instead of running it. Adversaries are irrelevant here —
+  // restarts are modelled by seeding boot states at every slot.
+  if (static_check) {
+    try {
+      analysis::VerifyOptions vopts;
+      vopts.unit_cost_snapshot = algo == WriteAllAlgo::kSnapshot;
+      const std::unique_ptr<WriteAllProgram> program =
+          make_writeall(algo, config);
+      const analysis::StaticReport report =
+          analysis::verify_program(*program, vopts);
+      std::cout << report.to_text();
+      return report.ok() ? 0 : 6;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 5;
+    }
+  }
 
   // The stalkers need the X-family layout; derive it where applicable.
   std::unique_ptr<Adversary> adversary;

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Run every experiment bench (E1–E20) with --benchmark_format=json and
+# Run every experiment bench (E1–E21) with --benchmark_format=json and
 # aggregate the results into BENCH_<tag>.json, one point of the perf
 # trajectory the ROADMAP tracks PR over PR.
 #
@@ -7,7 +7,7 @@
 #   scripts/run_benches.sh [build-dir] [out-dir] [tag] [--force]
 #
 # Defaults: build-dir = build, out-dir = <build-dir>/bench-results,
-# tag = $RFSP_BENCH_TAG or PR9. The aggregate lands in
+# tag = $RFSP_BENCH_TAG or PR10. The aggregate lands in
 # <out-dir>/BENCH_<tag>.json. If that file already exists the script
 # refuses to run (an aggregate is a point on the perf trajectory —
 # clobbering one silently rewrites history); pass --force to overwrite.
@@ -35,7 +35,7 @@ done
 
 build_dir=${positional[0]:-build}
 out_dir=${positional[1]:-"$build_dir/bench-results"}
-tag=${positional[2]:-${RFSP_BENCH_TAG:-PR9}}
+tag=${positional[2]:-${RFSP_BENCH_TAG:-PR10}}
 
 aggregate_out="$out_dir/BENCH_${tag}.json"
 if [ -e "$aggregate_out" ] && [ "$force" != 1 ]; then

@@ -1,0 +1,113 @@
+// The instrumented cycle driver of the static verifier (verify.hpp).
+//
+// A SymbolicContext runs exactly one ProcessorState::cycle against a chosen
+// read valuation instead of a live memory image: it plugs into the
+// CycleContext through the ReadOracle seam (every read's value comes from
+// the per-cell abstract domain) and the CycleAuditHook (per-operation order
+// for the phase-discipline check). Branching over the domain is driven by a
+// decision script: the first read of each cell consumes one PathDecision
+// (replayed from the script, or defaulted to index 0 and appended), repeat
+// reads of a cell within the cycle return the assumed value again — shared
+// memory is frozen within a slot, so a valuation is one value per cell.
+// The caller enumerates all paths of a (state, slot) configuration by
+// odometer-incrementing the returned decision vector.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/static/verify.hpp"
+#include "pram/memory.hpp"
+#include "pram/program.hpp"
+
+namespace rfsp::analysis {
+
+// One candidate read value with its taint tag.
+struct SymbolicValue {
+  Word value = 0;
+  AbstractTag tag = AbstractTag::kZero;
+};
+
+// The per-cell abstract domain the verifier maintains (seeded with
+// {0, 1/goal-done, init, arbitrary}, widened with written-value feedback).
+class DomainSource {
+ public:
+  virtual ~DomainSource() = default;
+  virtual std::size_t size(Addr addr) const = 0;
+  virtual SymbolicValue at(Addr addr, std::size_t index) const = 0;
+};
+
+// One branch point: the first read of `addr` during the path picked domain
+// value `index` out of `size` candidates (size as of the run).
+struct PathDecision {
+  Addr addr = 0;
+  std::size_t index = 0;
+  std::size_t size = 1;
+};
+
+// Everything one driven cycle produced.
+struct PathOutcome {
+  bool completed = false;  // cycle returned (halting or not) without a throw
+  bool halted = false;     // cycle returned false
+  bool threw = false;
+  bool budget_throw = false;  // the throw was the context's storage cap —
+                              // an over-budget finding, not a pruned path
+  std::string error;          // what() of the throw
+
+  std::vector<Addr> reads;      // every shared read, program order
+  std::vector<WriteOp> writes;  // every buffered write, program order
+  bool used_snapshot = false;
+  bool read_after_write = false;      // phase-order break observed
+  bool snapshot_after_write = false;  // ... via the snapshot entry point
+  bool oob_read = false;
+  bool oob_write = false;
+  Addr oob_addr = 0;
+  bool used_arbitrary = false;  // valuation includes a kArbitrary value
+
+  std::vector<ReadAssumption> valuation;  // first-read assumptions, in order
+  std::vector<PathDecision> decisions;    // the (extended) script
+};
+
+class SymbolicContext final : public ReadOracle, public CycleAuditHook {
+ public:
+  // `init_image` seeds the scratch memory consulted only by snapshot()
+  // (whole-memory reads cannot be answered per-cell by the oracle; they
+  // observe the init image — documented in docs/analysis.md).
+  SymbolicContext(const DomainSource& domain, const Program& program,
+                  bool snapshot_allowed);
+
+  // Drive one cycle of `state` at (pid, slot) following `script` for its
+  // first |script| branch points and extending with index 0 beyond.
+  PathOutcome run(ProcessorState& state, Pid pid, Slot slot,
+                  std::span<const PathDecision> script);
+
+  // ReadOracle: answer a shared read from the domain / the path's script.
+  Word read_value(Pid pid, Addr addr) override;
+
+  // CycleAuditHook: per-operation order bookkeeping.
+  void on_read(Pid pid, Addr addr) override;
+  void on_write(Pid pid, Addr addr, Word value) override;
+  void on_snapshot(Pid pid) override;
+
+  // Monotone widening of the snapshot image: record an observed write so
+  // later snapshot() calls can see the progress it represents (last value
+  // wins per cell — one concrete image, not a per-cell set). Returns true
+  // iff the image changed; the caller then re-explores snapshot users.
+  bool widen_snapshot(Addr addr, Word value);
+
+ private:
+  const DomainSource& domain_;
+  SharedMemory mem_;  // snapshot() image: init, widened by widen_snapshot
+  Addr memory_size_;
+  bool snapshot_allowed_;
+
+  // Per-run scratch.
+  std::span<const PathDecision> script_;
+  std::size_t next_decision_ = 0;
+  std::vector<std::pair<Addr, Word>> assumed_;  // <= kReadCap entries
+  bool wrote_ = false;
+  PathOutcome out_;
+};
+
+}  // namespace rfsp::analysis

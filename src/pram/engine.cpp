@@ -21,11 +21,13 @@ CycleContext::CycleContext(const SharedMemory& mem, CycleTrace& trace,
                            Pid pid, Slot slot, std::size_t read_budget,
                            std::size_t write_budget, bool snapshot_allowed,
                            bool log_reads, CycleAuditHook* audit,
-                           const ProcCache* cache, bool persist_allowed)
+                           const ProcCache* cache, bool persist_allowed,
+                           ReadOracle* oracle)
     : mem_(mem), trace_(trace), pid_(pid), slot_(slot),
       read_budget_(read_budget), write_budget_(write_budget),
       snapshot_allowed_(snapshot_allowed), log_reads_(log_reads),
-      audit_(audit), cache_(cache), persist_allowed_(persist_allowed) {}
+      audit_(audit), cache_(cache), persist_allowed_(persist_allowed),
+      oracle_(oracle) {}
 
 namespace {
 ViolationContext cycle_ctx(Slot slot, Pid pid, const char* move) {

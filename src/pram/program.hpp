@@ -82,6 +82,19 @@ class CycleAuditHook {
   virtual void on_snapshot(Pid pid) = 0;
 };
 
+// Value source that replaces shared-memory reads entirely — the seam the
+// static verifier's SymbolicContext uses to drive ProcessorState::cycle
+// against chosen valuations instead of a live memory image
+// (analysis/static/, docs/analysis.md). The context still enforces budgets,
+// logs and audits the read as usual; only the returned value is substituted.
+// With no oracle installed the per-read cost is one predicted null test,
+// exactly like the audit hook above.
+class ReadOracle {
+ public:
+  virtual ~ReadOracle() = default;
+  virtual Word read_value(Pid pid, Addr addr) = 0;
+};
+
 // Per-cycle facilities handed to ProcessorState::cycle by the engine.
 class CycleContext {
  public:
@@ -89,7 +102,8 @@ class CycleContext {
                std::size_t read_budget, std::size_t write_budget,
                bool snapshot_allowed, bool log_reads,
                CycleAuditHook* audit = nullptr,
-               const ProcCache* cache = nullptr, bool persist_allowed = false);
+               const ProcCache* cache = nullptr, bool persist_allowed = false,
+               ReadOracle* oracle = nullptr);
 
   // Read one shared cell. Throws ModelViolation past the read budget.
   // Inline: one of the two per-operation hot paths of the whole engine.
@@ -105,6 +119,7 @@ class CycleContext {
     ++reads_used_;
     if (log_reads_) trace_.reads.push_back(a);
     if (audit_ != nullptr) audit_->on_read(pid_, a);
+    if (oracle_ != nullptr) [[unlikely]] return oracle_->read_value(pid_, a);
     if (cache_ != nullptr) [[unlikely]] {
       if (const Word* hit = cache_->find(a)) return *hit;
     }
@@ -157,6 +172,7 @@ class CycleContext {
   CycleAuditHook* audit_;
   const ProcCache* cache_;
   bool persist_allowed_;
+  ReadOracle* oracle_;
 };
 
 // The private side of one processor: its registers and control state.
@@ -256,6 +272,17 @@ class Program {
   // only when EngineOptions::batch is set and no per-op hook (audit, read
   // logging) forces the interpreter. Defined in pram/soa.cpp.
   virtual std::unique_ptr<BatchKernel> batch_kernels() const;
+
+  // Obliviousness claim (§3's oblivious algorithms and the optimality
+  // corollaries that need them): return true iff every processor's address
+  // trace — cells read, cells written, write count, halting decision — is a
+  // function of (pid, slot) alone, never of values read from shared memory.
+  // The claim is *checked*, not trusted: the static verifier
+  // (analysis/static/) proves it per reachable control state by differencing
+  // address traces across read valuations, and the record/replay probe
+  // (analysis/oblivious.hpp) cross-checks it dynamically. Default: false
+  // (adaptive algorithms like W/V/X are legitimately value-driven).
+  virtual bool oblivious() const { return false; }
 
   // Observability opt-in (see obs/phase.hpp): declare the fixed-length
   // phase schedule the program's slots follow, so the engine can attribute

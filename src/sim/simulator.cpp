@@ -443,6 +443,12 @@ std::unique_ptr<ProcessorState> SimulationProgram::load_state(
 
 }  // namespace
 
+std::unique_ptr<Program> make_simulation_program(const SimProgram& program,
+                                                 const SimLayout& layout,
+                                                 SimInner inner) {
+  return std::make_unique<SimulationProgram>(program, layout, inner);
+}
+
 // ---------------------------------------------------------------------------
 // simulate / reference_run
 

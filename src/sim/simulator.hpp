@@ -145,4 +145,14 @@ constexpr Slot phase_start(Word w) {
 SimResult simulate(const SimProgram& program, Adversary& adversary,
                    SimOptions options = {});
 
+// Build the outer executor Program that simulate() would run — the machine
+// of Theorem 4.1 with `program`'s tasks embedded — without running it, so
+// tools like the static verifier (analysis/static/) can inspect it. The
+// returned object holds references to `program` and `layout`; both must
+// outlive it. Remember the executor's own cycle budget is 5 reads (the
+// embedded Write-All cycle plus the phase-word poll).
+std::unique_ptr<Program> make_simulation_program(const SimProgram& program,
+                                                 const SimLayout& layout,
+                                                 SimInner inner);
+
 }  // namespace rfsp

@@ -28,6 +28,9 @@ class TrivialWriteAll final : public WriteAllProgram {
   std::unique_ptr<ProcessorState> load_state(
       Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
+  // Cells PID, PID+P, ... with no shared reads at all: the address trace is
+  // a pure function of (pid, cycle index). Proven by the static verifier.
+  bool oblivious() const override { return true; }
   Addr x_base() const override { return config_.base; }
 };
 
@@ -41,6 +44,8 @@ class SequentialWriteAll final : public WriteAllProgram {
   std::unique_ptr<ProcessorState> load_state(
       Pid pid, std::span<const Word> data) const override;
   bool goal(const SharedMemory& mem) const override;
+  // The left-to-right sweep never reads shared memory either.
+  bool oblivious() const override { return true; }
   Addr x_base() const override { return config_.base; }
 };
 

@@ -295,6 +295,118 @@ TEST(AuditMode, ViolationCapCountsPastTheCap) {
   EXPECT_EQ(report.dropped_violations, 7u);
 }
 
+// --- Auditor x memory-model matrix -------------------------------------------
+
+AuditReport audit_run_with(const Program& program, EngineOptions options,
+                           LambdaAdversary::Decide decide = no_faults) {
+  Auditor auditor;
+  options.audit = &auditor;
+  options.max_slots = 64;
+  Engine engine(program, options);
+  LambdaAdversary adversary(std::move(decide));
+  engine.run(adversary);
+  return auditor.take_report();
+}
+
+TEST(AuditMemoryModel, DeadWritesUnderFaultyCellsCarryCellContext) {
+  // Zero spares leave every faulty cell dead; sweeping writes over the
+  // whole array must hit them, and each finding names the slot, the
+  // writer, the dead cell, and the dropped value.
+  LambdaProgram program(1, 8, [](Pid, std::uint64_t k, CycleContext& ctx) {
+    ctx.write(static_cast<Addr>(k % 8), 7);
+    return k < 15;
+  });
+  EngineOptions options;
+  options.memory_model = MemoryModel::kFaultyCells;
+  options.faulty_cells = {.seed = 3, .cells = 2, .spares = 0};
+  const AuditReport report = audit_run_with(program, options);
+  EXPECT_GT(report.count(AuditCheck::kDeadWrite), 0u);
+  bool saw_dead_write = false;
+  for (const AuditViolation& v : report.violations) {
+    if (v.check != AuditCheck::kDeadWrite) continue;
+    saw_dead_write = true;
+    EXPECT_GE(v.context.slot, 0);
+    EXPECT_EQ(v.context.pid(), 0);
+    EXPECT_GE(v.context.cell, 0);
+    EXPECT_LT(v.context.cell, 8);
+    ASSERT_EQ(v.context.values.size(), 1u);
+    EXPECT_EQ(v.context.values[0], 7);
+  }
+  EXPECT_TRUE(saw_dead_write);
+}
+
+TEST(AuditMemoryModel, FaultAwareSweepAuditsCleanUnderFaultyCells) {
+  // With auto spares every fault is remapped: the same sweep has no dead
+  // cells to hit and the full audit stays clean.
+  LambdaProgram program(1, 8, [](Pid, std::uint64_t k, CycleContext& ctx) {
+    ctx.write(static_cast<Addr>(k % 8), 7);
+    return k < 15;
+  });
+  EngineOptions options;
+  options.memory_model = MemoryModel::kFaultyCells;
+  options.faulty_cells = {.seed = 3, .cells = 2};  // spares = auto
+  const AuditReport report = audit_run_with(program, options);
+  EXPECT_EQ(report.total(), 0u) << report.to_text();
+}
+
+TEST(AuditMemoryModel, AmnesiaUnderPersistentCacheCarriesPidAndSlot) {
+  // The hidden-counter amnesia mutant from the reliable-model test, run
+  // under the persistent-cache model at both cadences: the twin machinery
+  // must shadow write-back caches and still pinpoint the divergence.
+  for (const std::uint64_t persist_every : {std::uint64_t{1},
+                                            std::uint64_t{0}}) {
+    std::uint64_t hidden = 0;
+    LambdaProgram program(1, 8, [&](Pid, std::uint64_t, CycleContext& ctx) {
+      ctx.write(0, static_cast<Word>(++hidden));
+      return hidden < 8;
+    });
+    EngineOptions options;
+    options.memory_model = MemoryModel::kPersistentCache;
+    options.persistent_cache = {.persist_every = persist_every};
+    const AuditReport report =
+        audit_run_with(program, options, [](const MachineView& view) {
+          FaultDecision d;
+          if (view.slot() == 0) {
+            d.fail_after_cycle = {0};
+            d.restart = {0};
+          }
+          return d;
+        });
+    EXPECT_GE(report.count(AuditCheck::kAmnesia), 1u)
+        << "persist_every=" << persist_every;
+    bool saw_amnesia = false;
+    for (const AuditViolation& v : report.violations) {
+      if (v.check != AuditCheck::kAmnesia) continue;
+      saw_amnesia = true;
+      EXPECT_EQ(v.context.slot, 1);  // first post-restart cycle
+      EXPECT_EQ(v.context.pid(), 0);
+    }
+    EXPECT_TRUE(saw_amnesia) << "persist_every=" << persist_every;
+    EXPECT_EQ(report.restarts_watched, 1u);
+  }
+}
+
+TEST(AuditMemoryModel, AmnesiaCleanProgramStaysCleanUnderPersistentCache) {
+  LambdaProgram program(2, 8, [](Pid pid, std::uint64_t k, CycleContext& ctx) {
+    ctx.write(pid, static_cast<Word>(k + 1));  // depends only on (pid, k)
+    return k < 6;
+  });
+  EngineOptions options;
+  options.memory_model = MemoryModel::kPersistentCache;
+  options.persistent_cache = {.persist_every = 1};
+  const AuditReport report =
+      audit_run_with(program, options, [](const MachineView& view) {
+        FaultDecision d;
+        if (view.slot() == 1) {
+          d.fail_after_cycle = {1};
+          d.restart = {1};
+        }
+        return d;
+      });
+  EXPECT_EQ(report.count(AuditCheck::kAmnesia), 0u) << report.to_text();
+  EXPECT_EQ(report.restarts_watched, 1u);
+}
+
 // --- Conformance matrix: shipped algorithms audit clean ----------------------
 
 struct MatrixCase {

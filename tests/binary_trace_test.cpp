@@ -341,7 +341,7 @@ TEST(BinaryTraceErrors, EveryTruncationPointIsCleanOrThrows) {
 TEST(BinaryTraceErrors, RejectsBadMagicVersionFlagsAndTag) {
   const std::string good = sample_binary_trace();
 
-  auto expect_throws = [](std::string bytes, const char* what) {
+  auto expect_throws = [](const std::string& bytes, const char* what) {
     std::istringstream in(bytes);
     BinaryTraceReader reader(in);
     TraceEvent event;

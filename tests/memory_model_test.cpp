@@ -467,9 +467,9 @@ TEST(ModelFormats, ReproMetaRoundTripsModelOptions) {
     spec.p = 2;
     FaultSchedule schedule;
     write_meta(spec, schedule, ProbeStatus::kSolved);
-    EXPECT_EQ(schedule.meta.count("memory_model"), 0u);
-    EXPECT_EQ(schedule.meta.count("fault_seed"), 0u);
-    EXPECT_EQ(schedule.meta.count("persist_every"), 0u);
+    EXPECT_FALSE(schedule.meta.contains("memory_model"));
+    EXPECT_FALSE(schedule.meta.contains("fault_seed"));
+    EXPECT_FALSE(schedule.meta.contains("persist_every"));
   }
 }
 
